@@ -1,0 +1,69 @@
+// Command ysmart-bench regenerates the paper's evaluation figures on the
+// simulated cluster models and prints them as text tables next to the
+// paper's reference numbers.
+//
+// Usage:
+//
+//	ysmart-bench            # all figures
+//	ysmart-bench -fig 9     # just Fig. 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ysmart/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ysmart-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ysmart-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := experiments.NewWorkload()
+	if err != nil {
+		return err
+	}
+
+	type figure struct {
+		name string
+		run  func() (interface{ Format() string }, error)
+	}
+	figures := []figure{
+		{"2b", func() (interface{ Format() string }, error) { return experiments.Fig2b(w) }},
+		{"9", func() (interface{ Format() string }, error) { return experiments.Fig9(w) }},
+		{"10", func() (interface{ Format() string }, error) { return experiments.Fig10(w) }},
+		{"11", func() (interface{ Format() string }, error) { return experiments.Fig11(w) }},
+		{"12", func() (interface{ Format() string }, error) { return experiments.Fig12(w) }},
+		{"13", func() (interface{ Format() string }, error) { return experiments.Fig13(w) }},
+		{"ablations", func() (interface{ Format() string }, error) { return experiments.Ablations(w) }},
+		{"scaling", func() (interface{ Format() string }, error) { return experiments.ScalingSweep(w) }},
+	}
+
+	matched := false
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.name {
+			continue
+		}
+		matched = true
+		result, err := f.run()
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", f.name, err)
+		}
+		fmt.Println(result.Format())
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, all)", *fig)
+	}
+	return nil
+}

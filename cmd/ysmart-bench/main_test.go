@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestSingleFigure(t *testing.T) {
+	if err := run([]string{"-fig", "2b"}); err != nil {
+		t.Fatalf("fig 2b: %v", err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}

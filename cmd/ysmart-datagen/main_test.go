@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWritesAllTables(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir,
+		"-orders", "50", "-parts", "10", "-customers", "10", "-suppliers", "5",
+		"-users", "10", "-clicks", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []string{"lineitem", "orders", "part", "customer", "supplier", "nation", "clicks"} {
+		path := filepath.Join(dir, table+".tsv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing %s: %v", table, err)
+			continue
+		}
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		if len(lines) == 0 || lines[0] == "" {
+			t.Errorf("%s is empty", table)
+		}
+	}
+	// Clicks row count is exact.
+	data, err := os.ReadFile(filepath.Join(dir, "clicks.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 50 {
+		t.Errorf("clicks rows = %d, want 50", n)
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-orders", "0"}); err == nil {
+		t.Error("zero orders should error")
+	}
+}

@@ -1,0 +1,200 @@
+// Command ysmart translates SQL queries into MapReduce job plans and
+// optionally executes them on a simulated cluster.
+//
+// Usage:
+//
+//	ysmart -query Q17 -mode ysmart -explain
+//	ysmart -sql "SELECT cid, count(*) FROM clicks GROUP BY cid" -run
+//	ysmart -query Q21 -mode one-to-one -run -cluster ec2-11
+//
+// With -explain it prints the logical plan, the detected correlations
+// (input, transit, job-flow) and the generated job plan. With -run it loads
+// deterministic workload data, executes the jobs, and prints the result
+// rows plus per-job simulated times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ysmart"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ysmart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ysmart", flag.ContinueOnError)
+	var (
+		queryName = fs.String("query", "", "workload query name (Q17, Q18, Q21, Q-CSA, Q-AGG)")
+		sqlText   = fs.String("sql", "", "SQL text (alternative to -query)")
+		modeName  = fs.String("mode", "ysmart", "translation mode: ysmart, one-to-one, pig-like, ic-tc-only")
+		clusterN  = fs.String("cluster", "small", "cluster model: small, ec2-11, ec2-101, facebook")
+		explain   = fs.Bool("explain", false, "print plan, correlations and job plan")
+		dot       = fs.Bool("dot", false, "print the job graph in Graphviz dot syntax")
+		dataDir   = fs.String("data", "", "load tables from <dir>/<table>.tsv (ysmart-datagen output) instead of generating")
+		runIt     = fs.Bool("run", false, "execute on workload data and print results")
+		maxRows   = fs.Int("max-rows", 20, "result rows to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sql := *sqlText
+	if sql == "" {
+		if *queryName == "" {
+			return fmt.Errorf("provide -query <name> or -sql <text>")
+		}
+		named, ok := ysmart.WorkloadQueries()[*queryName]
+		if !ok {
+			return fmt.Errorf("unknown query %q (have: Q17, Q18, Q21, Q-CSA, Q-AGG)", *queryName)
+		}
+		sql = named
+	}
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		return err
+	}
+
+	q, err := ysmart.Parse(sql, ysmart.WorkloadCatalog())
+	if err != nil {
+		return err
+	}
+	label := *queryName
+	if label == "" {
+		label = "adhoc"
+	}
+	tr, err := q.Translate(mode, ysmart.Options{QueryName: strings.ToLower(label)})
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		fmt.Print(tr.DOT())
+		if !*runIt {
+			return nil
+		}
+	} else if *explain || !*runIt {
+		fmt.Println("== logical plan ==")
+		fmt.Print(q.ExplainPlan())
+		fmt.Println("== correlations ==")
+		fmt.Print(q.ExplainCorrelations())
+		fmt.Println("== job plan ==")
+		fmt.Print(tr.Describe())
+	}
+
+	if !*runIt {
+		return nil
+	}
+
+	cluster, err := parseCluster(*clusterN)
+	if err != nil {
+		return err
+	}
+	rt, err := ysmart.NewRuntime(cluster)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		if err := loadDataDir(rt, *dataDir); err != nil {
+			return err
+		}
+	} else {
+		tpch, err := ysmart.GenerateTPCH(ysmart.DefaultTPCH())
+		if err != nil {
+			return err
+		}
+		clicks, err := ysmart.GenerateClicks(ysmart.DefaultClicks())
+		if err != nil {
+			return err
+		}
+		rt.LoadTables(tpch)
+		rt.LoadTables(clicks)
+	}
+
+	res, err := rt.Run(tr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== execution ==")
+	fmt.Println(res.Stats.String())
+	fmt.Printf("== result (%d rows, schema %s) ==\n", len(res.Rows), res.Schema)
+	for i, row := range res.Rows {
+		if i >= *maxRows {
+			fmt.Printf("... %d more rows\n", len(res.Rows)-*maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for c, v := range row {
+			cells[c] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+// loadDataDir loads every <table>.tsv under dir into the runtime.
+func loadDataDir(rt *ysmart.Runtime, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tsv") {
+			continue
+		}
+		data, err := os.ReadFile(dir + "/" + e.Name())
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		if len(lines) == 1 && lines[0] == "" {
+			lines = nil
+		}
+		rt.LoadTableLines(strings.TrimSuffix(e.Name(), ".tsv"), lines)
+		loaded++
+	}
+	if loaded == 0 {
+		return fmt.Errorf("no .tsv tables found in %s", dir)
+	}
+	return nil
+}
+
+func parseMode(name string) (ysmart.Mode, error) {
+	switch name {
+	case "ysmart":
+		return ysmart.YSmart, nil
+	case "one-to-one", "hive":
+		return ysmart.OneToOne, nil
+	case "pig-like", "pig":
+		return ysmart.PigLike, nil
+	case "ic-tc-only", "ictc":
+		return ysmart.ICTCOnly, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+func parseCluster(name string) (*ysmart.Cluster, error) {
+	switch name {
+	case "small":
+		return ysmart.SmallCluster(), nil
+	case "ec2-11":
+		return ysmart.EC2Cluster(10), nil
+	case "ec2-101":
+		return ysmart.EC2Cluster(100), nil
+	case "facebook":
+		return ysmart.FacebookCluster(1), nil
+	default:
+		return nil, fmt.Errorf("unknown cluster %q", name)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"ysmart"
+)
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		in   string
+		want ysmart.Mode
+	}{
+		{"ysmart", ysmart.YSmart},
+		{"one-to-one", ysmart.OneToOne},
+		{"hive", ysmart.OneToOne},
+		{"pig-like", ysmart.PigLike},
+		{"pig", ysmart.PigLike},
+		{"ic-tc-only", ysmart.ICTCOnly},
+		{"ictc", ysmart.ICTCOnly},
+	}
+	for _, tt := range tests {
+		got, err := parseMode(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("parseMode(%q) = (%v, %v), want %v", tt.in, got, err, tt.want)
+		}
+	}
+	if _, err := parseMode("nope"); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestParseCluster(t *testing.T) {
+	for _, name := range []string{"small", "ec2-11", "ec2-101", "facebook"} {
+		c, err := parseCluster(name)
+		if err != nil || c == nil {
+			t.Errorf("parseCluster(%q) = (%v, %v)", name, c, err)
+		}
+	}
+	if _, err := parseCluster("nope"); err == nil {
+		t.Error("unknown cluster should error")
+	}
+}
+
+func TestRunExplainAllQueries(t *testing.T) {
+	for name := range ysmart.WorkloadQueries() {
+		for _, mode := range []string{"ysmart", "one-to-one", "ic-tc-only", "pig-like"} {
+			if err := run([]string{"-query", name, "-mode", mode, "-explain"}); err != nil {
+				t.Errorf("explain %s (%s): %v", name, mode, err)
+			}
+		}
+	}
+}
+
+func TestRunExecutesQuery(t *testing.T) {
+	if err := run([]string{"-query", "Q-AGG", "-run", "-max-rows", "3"}); err != nil {
+		t.Fatalf("run Q-AGG: %v", err)
+	}
+	if err := run([]string{"-sql", "SELECT uid FROM clicks WHERE cid = 1", "-run"}); err != nil {
+		t.Fatalf("run ad-hoc SQL: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{},                              // neither -query nor -sql
+		{"-query", "NOPE"},              // unknown query
+		{"-query", "Q17", "-mode", "x"}, // unknown mode
+		{"-query", "Q17", "-run", "-cluster", "x"}, // unknown cluster
+		{"-sql", "NOT SQL"},                        // parse failure
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunErrorMessagesHelpful(t *testing.T) {
+	err := run([]string{"-query", "NOPE"})
+	if err == nil || !strings.Contains(err.Error(), "Q-CSA") {
+		t.Errorf("unknown-query error should list options: %v", err)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run([]string{"-query", "Q21", "-dot"}); err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+}
+
+func TestRunWithDataDir(t *testing.T) {
+	// Generate a small data set to a temp dir through the public API, then
+	// run a query against it via -data.
+	dir := t.TempDir()
+	clicks, err := ysmart.GenerateClicks(ysmart.ClickConfig{Users: 5, ClicksPerUser: 4, Categories: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, line := range ysmart.EncodeTable(clicks["clicks"]) {
+		sb.WriteString(line + "\n")
+	}
+	if err := os.WriteFile(dir+"/clicks.tsv", []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-query", "Q-AGG", "-run", "-data", dir}); err != nil {
+		t.Fatalf("run with -data: %v", err)
+	}
+	if err := run([]string{"-query", "Q-AGG", "-run", "-data", t.TempDir()}); err == nil {
+		t.Error("empty data dir should error")
+	}
+}

@@ -1,0 +1,66 @@
+package ysmart_test
+
+import (
+	"fmt"
+	"log"
+
+	"ysmart"
+)
+
+// Example compiles and runs a grouped aggregation end to end on the
+// simulated cluster.
+func Example() {
+	catalog := ysmart.Catalog{
+		"events": ysmart.NewSchema(
+			ysmart.Column{Name: "kind", Type: ysmart.TypeString},
+			ysmart.Column{Name: "ms", Type: ysmart.TypeInt},
+		),
+	}
+	q, err := ysmart.Parse(
+		"SELECT kind, count(*) AS n FROM events WHERE ms > 10 GROUP BY kind", catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := q.Translate(ysmart.YSmart, ysmart.Options{QueryName: "example"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := ysmart.NewRuntime(ysmart.SmallCluster())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.LoadTable("events", []ysmart.Row{
+		{ysmart.Str("click"), ysmart.Int(40)},
+		{ysmart.Str("view"), ysmart.Int(5)},
+		{ysmart.Str("click"), ysmart.Int(25)},
+		{ysmart.Str("view"), ysmart.Int(90)},
+	})
+	res, err := rt.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d job(s)\n", len(res.Stats.Jobs))
+	for _, row := range res.Rows {
+		fmt.Printf("%s %s\n", row[0].String(), row[1].String())
+	}
+	// Output:
+	// 1 job(s)
+	// click 2
+	// view 1
+}
+
+// ExampleQuery_ExplainCorrelations shows the correlation analysis of the
+// paper's TPC-H Q17 variant (§IV.B).
+func ExampleQuery_ExplainCorrelations() {
+	q, err := ysmart.Parse(ysmart.WorkloadQueries()["Q17"], ysmart.WorkloadCatalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := q.Translate(ysmart.YSmart, ysmart.Options{QueryName: "q17"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jobs: %d\n", tr.NumJobs())
+	// Output:
+	// jobs: 2
+}

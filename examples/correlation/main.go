@@ -1,0 +1,48 @@
+// Correlation is an interactive probe of YSmart's query analysis: feed it
+// any SQL over the workload tables and it prints the logical plan, the
+// detected intra-query correlations (input, transit, job-flow — paper §IV),
+// and the job plan each translation mode would generate.
+//
+// Usage:
+//
+//	go run ./examples/correlation                 # analyzes TPC-H Q18
+//	go run ./examples/correlation -sql "SELECT ..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ysmart"
+)
+
+func main() {
+	sql := flag.String("sql", "", "SQL text over the workload tables (default: Q18)")
+	flag.Parse()
+
+	text := *sql
+	if text == "" {
+		text = ysmart.WorkloadQueries()["Q18"]
+		fmt.Println("analyzing TPC-H Q18 (pass -sql to analyze your own query)")
+	}
+
+	q, err := ysmart.Parse(text, ysmart.WorkloadCatalog())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== logical plan ==")
+	fmt.Print(q.ExplainPlan())
+	fmt.Println("== operations, partition keys and correlations ==")
+	fmt.Print(q.ExplainCorrelations())
+
+	for _, mode := range []ysmart.Mode{ysmart.OneToOne, ysmart.ICTCOnly, ysmart.YSmart} {
+		tr, err := q.Translate(mode, ysmart.Options{QueryName: "probe-" + mode.String()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== %s ==\n", mode)
+		fmt.Print(tr.Describe())
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: parse a SQL query, translate it with YSmart, execute it on
+// the simulated cluster, and print the result — the smallest end-to-end
+// use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ysmart"
+)
+
+func main() {
+	// 1. Describe the table.
+	catalog := ysmart.Catalog{
+		"visits": ysmart.NewSchema(
+			ysmart.Column{Name: "user_id", Type: ysmart.TypeInt},
+			ysmart.Column{Name: "page", Type: ysmart.TypeString},
+			ysmart.Column{Name: "ms", Type: ysmart.TypeInt},
+		),
+	}
+
+	// 2. Parse and plan a query.
+	q, err := ysmart.Parse(`
+		SELECT page, count(*) AS hits, avg(ms) AS avg_ms
+		FROM visits
+		WHERE ms > 10
+		GROUP BY page
+		ORDER BY hits DESC`, catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== logical plan ==")
+	fmt.Print(q.ExplainPlan())
+
+	// 3. Translate to MapReduce jobs.
+	tr, err := q.Translate(ysmart.YSmart, ysmart.Options{QueryName: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== job plan ==")
+	fmt.Print(tr.Describe())
+
+	// 4. Load data and run.
+	rt, err := ysmart.NewRuntime(ysmart.SmallCluster())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.LoadTable("visits", []ysmart.Row{
+		{ysmart.Int(1), ysmart.Str("/home"), ysmart.Int(120)},
+		{ysmart.Int(2), ysmart.Str("/home"), ysmart.Int(80)},
+		{ysmart.Int(3), ysmart.Str("/about"), ysmart.Int(40)},
+		{ysmart.Int(1), ysmart.Str("/home"), ysmart.Int(5)}, // filtered out
+		{ysmart.Int(2), ysmart.Str("/about"), ysmart.Int(60)},
+		{ysmart.Int(3), ysmart.Str("/home"), ysmart.Int(200)},
+	})
+	res, err := rt.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== result %s ==\n", res.Schema)
+	for _, row := range res.Rows {
+		fmt.Printf("%-8s hits=%s avg_ms=%s\n", row[0].String(), row[1].String(), row[2].String())
+	}
+	fmt.Printf("== stats ==\n%s\n", res.Stats.String())
+}

@@ -1,0 +1,54 @@
+// Tpch runs the three flattened TPC-H queries (Q17, Q18, Q21) under every
+// translation mode on generated data, printing the job counts, scan/shuffle
+// volumes and simulated times side by side — a small version of the
+// paper's Fig. 10 comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ysmart"
+)
+
+func main() {
+	catalog := ysmart.WorkloadCatalog()
+	tpch, err := ysmart.GenerateTPCH(ysmart.TPCHConfig{
+		Orders: 1500, Parts: 150, Customers: 300, Suppliers: 80, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modes := []ysmart.Mode{ysmart.OneToOne, ysmart.PigLike, ysmart.ICTCOnly, ysmart.YSmart}
+	fmt.Printf("%-5s %-12s %5s %12s %12s %10s\n",
+		"query", "mode", "jobs", "scan-bytes", "shuffle", "sim-time")
+	for _, name := range []string{"Q17", "Q18", "Q21"} {
+		q, err := ysmart.Parse(ysmart.WorkloadQueries()[name], catalog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, mode := range modes {
+			tr, err := q.Translate(mode, ysmart.Options{
+				QueryName: fmt.Sprintf("%s-%s", name, mode),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rt, err := ysmart.NewRuntime(ysmart.SmallCluster())
+			if err != nil {
+				log.Fatal(err)
+			}
+			rt.LoadTables(tpch)
+			res, err := rt.Run(tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-5s %-12s %5d %12d %12d %9.0fs\n",
+				name, mode, tr.NumJobs(),
+				res.Stats.TotalMapInputBytes(), res.Stats.TotalShuffleBytes(),
+				res.Stats.TotalTime())
+		}
+		fmt.Println()
+	}
+}

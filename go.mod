@@ -1,0 +1,3 @@
+module ysmart
+
+go 1.22

@@ -1,0 +1,320 @@
+package cmf
+
+import (
+	"fmt"
+
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+)
+
+// Stream is one merged job's view of a common input: its map-side selection
+// over the shared table scan.
+type Stream struct {
+	ID int
+	// Filter is the stream's selection; nil accepts every row.
+	Filter RowPred
+}
+
+// CommonInput describes one map-side input of a common job.
+type CommonInput struct {
+	Path string
+	// Decode parses one input line into a row (typically a schema-typed
+	// decode for base tables, or a tag-stripping decode for intermediate
+	// files written by earlier common jobs).
+	Decode func(line string) (exec.Row, error)
+	// Key computes the partition-key values of a row. All streams of an
+	// input share the key — that is precisely the transit-correlation
+	// condition that allowed the merge.
+	Key func(exec.Row) ([]exec.Value, error)
+	// KeyEncode overrides the default injective key encoding. Distributed
+	// sort jobs use exec.EncodeOrderedKey so key byte-order equals value
+	// order; such keys are opaque (see CommonJob.OpaqueKeys).
+	KeyEncode func([]exec.Value) string
+	// Project reduces the decoded row to the union of the columns any
+	// stream needs; nil keeps the whole row.
+	Project func(exec.Row) exec.Row
+	Streams []Stream
+}
+
+// OutputSpec names an operator whose per-key results the job writes.
+type OutputSpec struct {
+	Op string
+	// Tag distinguishes this operator's rows in the shared output file when
+	// the job writes results of several merged jobs (§VI.B). Single-output
+	// jobs leave it empty.
+	Tag string
+}
+
+// CommonJob is the translator-facing description of one merged MapReduce
+// job: shared inputs, the per-key operator graph, and which operators'
+// results are written.
+type CommonJob struct {
+	Name    string
+	Inputs  []CommonInput
+	Ops     []Op
+	Outputs []OutputSpec
+	// Output is the DFS path the job writes.
+	Output         string
+	NumReduceTasks int
+	// CombineOp optionally names a FromPartials AggOp to drive map-side
+	// partial aggregation (Hive's hash-aggregate map phase). It requires a
+	// single input with a single unfiltered-or-filtered stream and
+	// decomposable aggregates.
+	CombineOp string
+	// OpaqueKeys marks the reduce keys as non-decodable (order-preserving
+	// binary encodings); the reducer then passes a nil key row to the
+	// operator graph, which none of the operators consult.
+	OpaqueKeys bool
+}
+
+// Build lowers the common job onto the MapReduce engine.
+func (cj *CommonJob) Build() (*mapreduce.Job, error) {
+	if err := cj.validate(); err != nil {
+		return nil, err
+	}
+
+	streamInput := make(map[int]int) // stream ID -> input index
+	for ii, in := range cj.Inputs {
+		for _, st := range in.Streams {
+			streamInput[st.ID] = ii
+		}
+	}
+
+	job := &mapreduce.Job{
+		Name:           cj.Name,
+		Output:         cj.Output,
+		NumReduceTasks: cj.NumReduceTasks,
+	}
+	for ii := range cj.Inputs {
+		in := cj.Inputs[ii]
+		idx := ii
+		job.Inputs = append(job.Inputs, mapreduce.Input{
+			Path:   in.Path,
+			Mapper: commonMapper(idx, in),
+		})
+	}
+	job.Reducer = &commonReducer{cj: cj}
+
+	if cj.CombineOp != "" {
+		comb, err := cj.buildCombiner()
+		if err != nil {
+			return nil, err
+		}
+		job.Combiner = comb
+	}
+	return job, nil
+}
+
+func (cj *CommonJob) validate() error {
+	if cj.Name == "" {
+		return fmt.Errorf("common job has no name")
+	}
+	if len(cj.Inputs) == 0 {
+		return fmt.Errorf("common job %s has no inputs", cj.Name)
+	}
+	seenStream := make(map[int]bool)
+	for ii, in := range cj.Inputs {
+		if in.Decode == nil || in.Key == nil {
+			return fmt.Errorf("common job %s input %d needs Decode and Key", cj.Name, ii)
+		}
+		if len(in.Streams) == 0 {
+			return fmt.Errorf("common job %s input %d has no streams", cj.Name, ii)
+		}
+		for _, st := range in.Streams {
+			if seenStream[st.ID] {
+				return fmt.Errorf("common job %s: duplicate stream id %d", cj.Name, st.ID)
+			}
+			seenStream[st.ID] = true
+		}
+	}
+	opNames := make(map[string]bool, len(cj.Ops))
+	for _, op := range cj.Ops {
+		if op.Name() == "" {
+			return fmt.Errorf("common job %s has an unnamed op", cj.Name)
+		}
+		if opNames[op.Name()] {
+			return fmt.Errorf("common job %s: duplicate op %q", cj.Name, op.Name())
+		}
+		opNames[op.Name()] = true
+	}
+	for _, op := range cj.Ops {
+		for _, src := range op.Sources() {
+			if src.IsOp() {
+				if !opNames[src.Op] {
+					return fmt.Errorf("common job %s: op %q reads unknown op %q", cj.Name, op.Name(), src.Op)
+				}
+			} else if !seenStream[src.Stream] {
+				return fmt.Errorf("common job %s: op %q reads unknown stream %d", cj.Name, op.Name(), src.Stream)
+			}
+		}
+	}
+	if len(cj.Outputs) == 0 {
+		return fmt.Errorf("common job %s writes nothing", cj.Name)
+	}
+	tags := make(map[string]bool)
+	for _, out := range cj.Outputs {
+		if !opNames[out.Op] {
+			return fmt.Errorf("common job %s outputs unknown op %q", cj.Name, out.Op)
+		}
+		if len(cj.Outputs) > 1 && out.Tag == "" {
+			return fmt.Errorf("common job %s: multi-output jobs need distinct tags", cj.Name)
+		}
+		if out.Tag != "" && tags[out.Tag] {
+			return fmt.Errorf("common job %s: duplicate output tag %q", cj.Name, out.Tag)
+		}
+		tags[out.Tag] = true
+	}
+	return nil
+}
+
+// commonMapper implements §VI.A: decode, evaluate every stream's selection,
+// and emit one tagged common pair when at least one stream wants the row.
+func commonMapper(inputIdx int, in CommonInput) mapreduce.Mapper {
+	return mapreduce.MapperFunc(func(line string, emit mapreduce.Emit) error {
+		row, err := in.Decode(line)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil // decoder filtered the line (e.g. foreign tag)
+		}
+		var excluded []int
+		matched := 0
+		for _, st := range in.Streams {
+			ok := true
+			if st.Filter != nil {
+				ok, err = st.Filter(row)
+				if err != nil {
+					return err
+				}
+			}
+			if ok {
+				matched++
+			} else {
+				excluded = append(excluded, st.ID)
+			}
+		}
+		if matched == 0 {
+			return nil
+		}
+		keyVals, err := in.Key(row)
+		if err != nil {
+			return err
+		}
+		common := row
+		if in.Project != nil {
+			common = in.Project(row)
+		}
+		encode := in.KeyEncode
+		if encode == nil {
+			encode = exec.EncodeKey
+		}
+		emit(encode(keyVals), EncodeTagged(inputIdx, excluded, common))
+		return nil
+	})
+}
+
+// commonReducer implements Algorithm 1: bucket the key group's values into
+// the streams allowed to see them, evaluate the operator graph, and write
+// the designated outputs (tagged when the job has several). It counts the
+// rows consumed by every operator so the cost model can charge the merged
+// reducer's real computation (the paper's §VII.C observation that merged
+// reduce phases "execute more lines of code").
+type commonReducer struct {
+	cj   *CommonJob
+	work int64
+}
+
+// Reduce implements mapreduce.Reducer.
+func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) error {
+	cj := cr.cj
+	var keyRow exec.Row
+	if !cj.OpaqueKeys {
+		var err error
+		keyRow, err = exec.DecodeRowUntyped(key)
+		if err != nil {
+			return err
+		}
+	}
+	streams := make(map[int][]exec.Row)
+	for _, v := range values {
+		tv, err := DecodeTagged(v)
+		if err != nil {
+			return err
+		}
+		if tv.Input < 0 || tv.Input >= len(cj.Inputs) {
+			return fmt.Errorf("value references input %d of %d", tv.Input, len(cj.Inputs))
+		}
+		for _, st := range cj.Inputs[tv.Input].Streams {
+			if tv.Sees(st.ID) {
+				streams[st.ID] = append(streams[st.ID], tv.Row)
+			}
+		}
+	}
+	results, work, err := evalGraph(cj.Ops, keyRow, streams)
+	if err != nil {
+		return err
+	}
+	cr.work += work
+	for _, out := range cj.Outputs {
+		for _, r := range results[out.Op] {
+			emit(TagLine(out.Tag, exec.EncodeRow(r)))
+		}
+	}
+	return nil
+}
+
+// ReduceWork implements mapreduce.ReduceWorkReporter.
+func (cr *commonReducer) ReduceWork() int64 { return cr.work }
+
+// buildCombiner wires map-side partial aggregation for a single-aggregation
+// job (paper §I footnote 2 — the optimization that makes Hive competitive
+// on plain aggregation queries).
+func (cj *CommonJob) buildCombiner() (mapreduce.Combiner, error) {
+	if len(cj.Inputs) != 1 || len(cj.Inputs[0].Streams) != 1 {
+		return nil, fmt.Errorf("common job %s: combiner requires a single input with one stream", cj.Name)
+	}
+	var agg *AggOp
+	for _, op := range cj.Ops {
+		if op.Name() == cj.CombineOp {
+			a, ok := op.(*AggOp)
+			if !ok {
+				return nil, fmt.Errorf("common job %s: combine op %q is not an aggregation", cj.Name, cj.CombineOp)
+			}
+			agg = a
+		}
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("common job %s: combine op %q not found", cj.Name, cj.CombineOp)
+	}
+	if !agg.FromPartials {
+		return nil, fmt.Errorf("common job %s: combine op %q must consume partials", cj.Name, cj.CombineOp)
+	}
+	kinds := make([]exec.AggKind, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		kinds[i] = a.Kind
+	}
+	if !Decomposable(kinds) {
+		return nil, fmt.Errorf("common job %s: aggregates are not decomposable", cj.Name)
+	}
+	inputIdx := 0
+	return mapreduce.CombinerFunc(func(key string, values []string) ([]string, error) {
+		groupVals, err := exec.DecodeRowUntyped(key)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]exec.Row, 0, len(values))
+		for _, v := range values {
+			tv, err := DecodeTagged(v)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, tv.Row)
+		}
+		partial, err := buildPartialRow(groupVals, agg.Aggs, rows)
+		if err != nil {
+			return nil, err
+		}
+		return []string{EncodeTagged(inputIdx, nil, partial)}, nil
+	}), nil
+}

@@ -1,0 +1,432 @@
+package cmf
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/sqlparser"
+)
+
+// clicksSchema mirrors the paper's CLICKS table (uid, page, cid, ts).
+var clicksSchema = exec.NewSchema(
+	exec.Column{Name: "uid", Type: exec.TypeInt},
+	exec.Column{Name: "page", Type: exec.TypeInt},
+	exec.Column{Name: "cid", Type: exec.TypeInt},
+	exec.Column{Name: "ts", Type: exec.TypeInt},
+)
+
+func decodeClicks(line string) (exec.Row, error) {
+	return exec.DecodeRow(line, clicksSchema)
+}
+
+func keyOn(idx ...int) func(exec.Row) ([]exec.Value, error) {
+	return func(r exec.Row) ([]exec.Value, error) {
+		out := make([]exec.Value, len(idx))
+		for i, x := range idx {
+			out[i] = r[x]
+		}
+		return out, nil
+	}
+}
+
+func writeClicks(dfs *mapreduce.DFS, path string, rows ...[4]int64) {
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = exec.EncodeRow(exec.Row{
+			exec.Int(r[0]), exec.Int(r[1]), exec.Int(r[2]), exec.Int(r[3]),
+		})
+	}
+	dfs.Write(path, lines)
+}
+
+func runCommonJob(t *testing.T, cj *CommonJob, dfs *mapreduce.DFS) (*mapreduce.JobStats, []string) {
+	t.Helper()
+	job, err := cj.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	e, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.RunJob(job)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out, err := dfs.Read(cj.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, out
+}
+
+// TestAggregationJob runs a Q-AGG style job: count clicks per category.
+func TestAggregationJob(t *testing.T) {
+	dfs := mapreduce.NewDFS()
+	writeClicks(dfs, "clicks",
+		[4]int64{1, 1, 10, 100},
+		[4]int64{2, 2, 10, 110},
+		[4]int64{3, 3, 20, 120},
+	)
+	cj := &CommonJob{
+		Name: "qagg",
+		Inputs: []CommonInput{{
+			Path:    "clicks",
+			Decode:  decodeClicks,
+			Key:     keyOn(2), // cid
+			Project: func(r exec.Row) exec.Row { return exec.Row{r[2]} },
+			Streams: []Stream{{ID: 0}},
+		}},
+		Ops: []Op{&AggOp{
+			OpName:  "AGG",
+			In:      StreamSource(0),
+			GroupBy: []RowFn{col(0)},
+			Aggs:    []AggFunc{{Kind: exec.AggCountStar}},
+		}},
+		Outputs: []OutputSpec{{Op: "AGG"}},
+		Output:  "out",
+	}
+	_, out := runCommonJob(t, cj, dfs)
+	want := []string{"10\t2", "20\t1"}
+	if strings.Join(out, "|") != strings.Join(want, "|") {
+		t.Errorf("output = %v, want %v", out, want)
+	}
+}
+
+// TestCombinerEquivalence verifies map-side partial aggregation produces
+// identical results while shrinking the shuffle.
+func TestCombinerEquivalence(t *testing.T) {
+	var rows [][4]int64
+	for i := int64(0); i < 120; i++ {
+		rows = append(rows, [4]int64{i % 7, i, i % 3, 100 + i})
+	}
+
+	build := func(withCombiner bool) *CommonJob {
+		agg := &AggOp{
+			OpName:  "AGG",
+			In:      StreamSource(0),
+			GroupBy: []RowFn{col(0)},
+			Aggs: []AggFunc{
+				{Kind: exec.AggCountStar},
+				{Kind: exec.AggSum, Arg: col(1)},
+				{Kind: exec.AggAvg, Arg: col(1)},
+				{Kind: exec.AggMax, Arg: col(1)},
+			},
+		}
+		cj := &CommonJob{
+			Name: "agg",
+			Inputs: []CommonInput{{
+				Path:    "clicks",
+				Decode:  decodeClicks,
+				Key:     keyOn(2),
+				Project: func(r exec.Row) exec.Row { return exec.Row{r[2], r[3]} },
+				Streams: []Stream{{ID: 0}},
+			}},
+			Ops:     []Op{agg},
+			Outputs: []OutputSpec{{Op: "AGG"}},
+			Output:  "out",
+		}
+		if withCombiner {
+			agg.FromPartials = true
+			cj.CombineOp = "AGG"
+		}
+		return cj
+	}
+
+	dfs1 := mapreduce.NewDFS()
+	writeClicks(dfs1, "clicks", rows...)
+	plainStats, plainOut := runCommonJob(t, build(false), dfs1)
+
+	dfs2 := mapreduce.NewDFS()
+	writeClicks(dfs2, "clicks", rows...)
+	combStats, combOut := runCommonJob(t, build(true), dfs2)
+
+	if strings.Join(plainOut, "|") != strings.Join(combOut, "|") {
+		t.Errorf("combiner changed results:\nplain: %v\ncomb:  %v", plainOut, combOut)
+	}
+	if combStats.ShuffleBytes >= plainStats.ShuffleBytes {
+		t.Errorf("combiner did not shrink shuffle: %d >= %d",
+			combStats.ShuffleBytes, plainStats.ShuffleBytes)
+	}
+}
+
+// TestSelfJoinSingleScan exercises the paper's §V.A optimization: one scan
+// of clicks feeds both instances of a self-join, with exclusion tags
+// marking which instance each record belongs to.
+func TestSelfJoinSingleScan(t *testing.T) {
+	dfs := mapreduce.NewDFS()
+	writeClicks(dfs, "clicks",
+		[4]int64{1, 1, 10, 100}, // uid 1, category X
+		[4]int64{1, 2, 20, 200}, // uid 1, category Y
+		[4]int64{2, 3, 10, 150}, // uid 2, category X (no Y partner)
+		[4]int64{3, 4, 20, 300}, // uid 3, category Y (no X partner)
+	)
+	catX := func(r exec.Row) (bool, error) { return r[2].I == 10, nil }
+	catY := func(r exec.Row) (bool, error) { return r[2].I == 20, nil }
+	cj := &CommonJob{
+		Name: "selfjoin",
+		Inputs: []CommonInput{{
+			Path:    "clicks",
+			Decode:  decodeClicks,
+			Key:     keyOn(0), // uid
+			Project: func(r exec.Row) exec.Row { return exec.Row{r[0], r[3]} },
+			Streams: []Stream{
+				{ID: 0, Filter: catX},
+				{ID: 1, Filter: catY},
+			},
+		}},
+		Ops: []Op{&JoinOp{
+			OpName: "JOIN1",
+			Left:   StreamSource(0), Right: StreamSource(1),
+			LeftWidth: 2, RightWidth: 2,
+			Type:     sqlparser.InnerJoin,
+			Residual: func(r exec.Row) (bool, error) { return r[1].I < r[3].I, nil },
+		}},
+		Outputs: []OutputSpec{{Op: "JOIN1"}},
+		Output:  "out",
+	}
+	stats, out := runCommonJob(t, cj, dfs)
+	// Only uid 1 has both categories with ts 100 < 200.
+	if len(out) != 1 || out[0] != "1\t100\t1\t200" {
+		t.Errorf("output = %v, want [1\\t100\\t1\\t200]", out)
+	}
+	// The single scan reads clicks exactly once.
+	if stats.MapInputRecords != 4 {
+		t.Errorf("map input records = %d, want 4 (one scan)", stats.MapInputRecords)
+	}
+	// Every emitted pair belongs to exactly one instance here, so all carry
+	// an exclusion tag; the map output must still be one pair per record.
+	if stats.MapOutputRecords != 4 {
+		t.Errorf("map output records = %d, want 4", stats.MapOutputRecords)
+	}
+}
+
+// TestMergedJobWithPostJoin reproduces the Fig. 6 structure in miniature:
+// one job computes an aggregation and a join over the same scan, then a
+// post-job join combines them in the same reduce invocation.
+func TestMergedJobWithPostJoin(t *testing.T) {
+	dfs := mapreduce.NewDFS()
+	// "lineitem": partkey, quantity.
+	dfs.Write("lineitem", []string{"1\t4", "1\t8", "2\t10"})
+	// "part": partkey, name.
+	dfs.Write("part", []string{"1\twidget", "2\tsprocket"})
+	liSchema := exec.NewSchema(
+		exec.Column{Name: "pk", Type: exec.TypeInt},
+		exec.Column{Name: "qty", Type: exec.TypeInt},
+	)
+	partSchema := exec.NewSchema(
+		exec.Column{Name: "pk", Type: exec.TypeInt},
+		exec.Column{Name: "name", Type: exec.TypeString},
+	)
+	cj := &CommonJob{
+		Name: "q17ish",
+		Inputs: []CommonInput{
+			{
+				Path:    "lineitem",
+				Decode:  func(l string) (exec.Row, error) { return exec.DecodeRow(l, liSchema) },
+				Key:     keyOn(0),
+				Streams: []Stream{{ID: 0}},
+			},
+			{
+				Path:    "part",
+				Decode:  func(l string) (exec.Row, error) { return exec.DecodeRow(l, partSchema) },
+				Key:     keyOn(0),
+				Streams: []Stream{{ID: 1}},
+			},
+		},
+		Ops: []Op{
+			// inner: avg(qty) per partkey over the lineitem stream.
+			&AggOp{
+				OpName: "AGG1", In: StreamSource(0),
+				GroupBy: []RowFn{col(0)},
+				Aggs:    []AggFunc{{Kind: exec.AggAvg, Arg: col(1)}},
+			},
+			// outer: lineitem ⋈ part within the key group.
+			&JoinOp{
+				OpName: "JOIN1",
+				Left:   StreamSource(0), Right: StreamSource(1),
+				LeftWidth: 2, RightWidth: 2, Type: sqlparser.InnerJoin,
+			},
+			// post-job: outer ⋈ inner, keep rows with qty < avg.
+			&JoinOp{
+				OpName: "JOIN2",
+				Left:   OpSource("JOIN1"), Right: OpSource("AGG1"),
+				LeftWidth: 4, RightWidth: 2, Type: sqlparser.InnerJoin,
+				Residual: func(r exec.Row) (bool, error) {
+					qty, _ := r[1].AsFloat()
+					avg, _ := r[5].AsFloat()
+					return qty < avg, nil
+				},
+			},
+		},
+		Outputs: []OutputSpec{{Op: "JOIN2"}},
+		Output:  "out",
+	}
+	stats, out := runCommonJob(t, cj, dfs)
+	// partkey 1: avg 6; rows with qty 4 pass, qty 8 fails. partkey 2: avg 10, qty 10 fails.
+	if len(out) != 1 || !strings.HasPrefix(out[0], "1\t4\t1\twidget") {
+		t.Errorf("output = %v", out)
+	}
+	if stats.MapInputRecords != 5 {
+		t.Errorf("map input = %d, want 5 (each table scanned once)", stats.MapInputRecords)
+	}
+}
+
+// TestMultiOutputTags checks the IC/TC-only merge shape: one job writes
+// results of two merged operations into one file with source tags.
+func TestMultiOutputTags(t *testing.T) {
+	dfs := mapreduce.NewDFS()
+	writeClicks(dfs, "clicks",
+		[4]int64{1, 1, 10, 100},
+		[4]int64{1, 2, 20, 200},
+		[4]int64{2, 3, 10, 300},
+	)
+	cj := &CommonJob{
+		Name: "ictc",
+		Inputs: []CommonInput{{
+			Path:    "clicks",
+			Decode:  decodeClicks,
+			Key:     keyOn(0),
+			Project: func(r exec.Row) exec.Row { return exec.Row{r[0], r[3]} },
+			Streams: []Stream{{ID: 0}},
+		}},
+		Ops: []Op{
+			&AggOp{OpName: "AGG1", In: StreamSource(0),
+				GroupBy: []RowFn{col(0)},
+				Aggs:    []AggFunc{{Kind: exec.AggCountStar}}},
+			&AggOp{OpName: "AGG2", In: StreamSource(0),
+				GroupBy: []RowFn{col(0)},
+				Aggs:    []AggFunc{{Kind: exec.AggMax, Arg: col(1)}}},
+		},
+		Outputs: []OutputSpec{{Op: "AGG1", Tag: "A1"}, {Op: "AGG2", Tag: "A2"}},
+		Output:  "out",
+	}
+	_, out := runCommonJob(t, cj, dfs)
+	var a1, a2 []string
+	for _, line := range out {
+		tag, payload := SplitTag(line)
+		switch tag {
+		case "A1":
+			a1 = append(a1, payload)
+		case "A2":
+			a2 = append(a2, payload)
+		default:
+			t.Errorf("unexpected tag %q in %q", tag, line)
+		}
+	}
+	if strings.Join(a1, "|") != "1\t2|2\t1" {
+		t.Errorf("AGG1 = %v", a1)
+	}
+	if strings.Join(a2, "|") != "1\t200|2\t300" {
+		t.Errorf("AGG2 = %v", a2)
+	}
+}
+
+func TestCommonJobValidation(t *testing.T) {
+	base := func() *CommonJob {
+		return &CommonJob{
+			Name: "x",
+			Inputs: []CommonInput{{
+				Path: "p", Decode: decodeClicks, Key: keyOn(0),
+				Streams: []Stream{{ID: 0}},
+			}},
+			Ops: []Op{&FilterOp{OpName: "f", In: StreamSource(0),
+				Pred: func(exec.Row) (bool, error) { return true, nil }}},
+			Outputs: []OutputSpec{{Op: "f"}},
+			Output:  "o",
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*CommonJob)
+		want   string
+	}{
+		{"no name", func(c *CommonJob) { c.Name = "" }, "no name"},
+		{"no inputs", func(c *CommonJob) { c.Inputs = nil }, "no inputs"},
+		{"no decode", func(c *CommonJob) { c.Inputs[0].Decode = nil }, "Decode"},
+		{"no streams", func(c *CommonJob) { c.Inputs[0].Streams = nil }, "no streams"},
+		{"dup stream", func(c *CommonJob) {
+			c.Inputs[0].Streams = []Stream{{ID: 0}, {ID: 0}}
+		}, "duplicate stream"},
+		{"unknown op output", func(c *CommonJob) { c.Outputs[0].Op = "zzz" }, "unknown op"},
+		{"unknown stream", func(c *CommonJob) {
+			c.Ops = []Op{&FilterOp{OpName: "f", In: StreamSource(9),
+				Pred: func(exec.Row) (bool, error) { return true, nil }}}
+		}, "unknown stream"},
+		{"no outputs", func(c *CommonJob) { c.Outputs = nil }, "writes nothing"},
+		{"multi-output needs tags", func(c *CommonJob) {
+			c.Outputs = []OutputSpec{{Op: "f"}, {Op: "f", Tag: "t"}}
+		}, "tags"},
+		{"combiner needs agg", func(c *CommonJob) { c.CombineOp = "f" }, "not an aggregation"},
+		{"combiner unknown op", func(c *CommonJob) { c.CombineOp = "zzz" }, "not found"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cj := base()
+			tt.mutate(cj)
+			_, err := cj.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCombinerRequiresDecomposable(t *testing.T) {
+	agg := &AggOp{
+		OpName: "AGG", In: StreamSource(0),
+		GroupBy:      []RowFn{col(0)},
+		Aggs:         []AggFunc{{Kind: exec.AggCountDistinct, Arg: col(1)}},
+		FromPartials: true,
+	}
+	cj := &CommonJob{
+		Name: "x",
+		Inputs: []CommonInput{{
+			Path: "p", Decode: decodeClicks, Key: keyOn(0),
+			Streams: []Stream{{ID: 0}},
+		}},
+		Ops:       []Op{agg},
+		Outputs:   []OutputSpec{{Op: "AGG"}},
+		Output:    "o",
+		CombineOp: "AGG",
+	}
+	if _, err := cj.Build(); err == nil || !strings.Contains(err.Error(), "decomposable") {
+		t.Errorf("err = %v, want decomposable error", err)
+	}
+}
+
+// TestGlobalAggregationJob checks the empty-key path used by final
+// aggregations like Q-CSA's AGG4 (one reduce group holds everything).
+func TestGlobalAggregationJob(t *testing.T) {
+	dfs := mapreduce.NewDFS()
+	dfs.Write("in", []string{"1\t10", "2\t20", "3\t30"})
+	schema := exec.NewSchema(
+		exec.Column{Name: "k", Type: exec.TypeInt},
+		exec.Column{Name: "v", Type: exec.TypeInt},
+	)
+	cj := &CommonJob{
+		Name: "global",
+		Inputs: []CommonInput{{
+			Path:    "in",
+			Decode:  func(l string) (exec.Row, error) { return exec.DecodeRow(l, schema) },
+			Key:     func(exec.Row) ([]exec.Value, error) { return nil, nil },
+			Streams: []Stream{{ID: 0}},
+		}},
+		Ops: []Op{&AggOp{
+			OpName: "AGG", In: StreamSource(0),
+			Aggs: []AggFunc{{Kind: exec.AggAvg, Arg: col(1)}},
+		}},
+		Outputs:        []OutputSpec{{Op: "AGG"}},
+		Output:         "out",
+		NumReduceTasks: 1,
+	}
+	_, out := runCommonJob(t, cj, dfs)
+	if len(out) != 1 || out[0] != "20.0" {
+		t.Errorf("global avg = %v, want [20.0]", out)
+	}
+}

@@ -1,0 +1,464 @@
+package cmf
+
+import (
+	"fmt"
+	"sort"
+
+	"ysmart/internal/exec"
+	"ysmart/internal/sqlparser"
+)
+
+// Source names where an operator's input rows come from: either a mapper
+// stream (a merged job's map output) or the per-key results of another
+// operator in the same common job (a post-job computation input).
+type Source struct {
+	Stream int    // valid when Op == ""
+	Op     string // non-empty for post-job inputs
+}
+
+// StreamSource references mapper stream id.
+func StreamSource(id int) Source { return Source{Stream: id} }
+
+// OpSource references another operator's results.
+func OpSource(name string) Source { return Source{Op: name} }
+
+// IsOp reports whether the source is another operator.
+func (s Source) IsOp() bool { return s.Op != "" }
+
+func (s Source) String() string {
+	if s.IsOp() {
+		return "op:" + s.Op
+	}
+	return fmt.Sprintf("stream:%d", s.Stream)
+}
+
+// RowPred evaluates a predicate over a row.
+type RowPred func(exec.Row) (bool, error)
+
+// RowFn computes a value from a row.
+type RowFn func(exec.Row) (exec.Value, error)
+
+// Op is one operator of a common job's per-key dataflow. Operators are
+// evaluated once per reduce key over the rows of that key group.
+type Op interface {
+	// Name identifies the operator inside the job.
+	Name() string
+	// Sources lists the operator's inputs.
+	Sources() []Source
+	// Eval computes the operator's result rows for one key group. inputs
+	// holds the rows of each source in Sources() order.
+	Eval(key exec.Row, inputs [][]exec.Row) ([]exec.Row, error)
+}
+
+// ---------------------------------------------------------------------------
+// JoinOp
+// ---------------------------------------------------------------------------
+
+// JoinOp joins two inputs within a key group. Because merged jobs share the
+// partition key, the equi-join condition is already satisfied by key
+// equality; only the residual predicate remains to be checked per pair
+// (paper §IV.B: "join with the same partition").
+type JoinOp struct {
+	OpName      string
+	Left, Right Source
+	// LeftProj/RightProj select columns of stream rows (nil = identity).
+	// Projections are ignored for op sources, whose rows are already shaped.
+	LeftProj, RightProj []int
+	// LeftWidth/RightWidth are the input row widths after projection, used
+	// for null extension in outer joins.
+	LeftWidth, RightWidth int
+	Type                  sqlparser.JoinType
+	// Residual, if non-nil, must pass for a pair to match; it sees the
+	// concatenated (left ++ right) row.
+	Residual RowPred
+}
+
+// Name implements Op.
+func (j *JoinOp) Name() string { return j.OpName }
+
+// Sources implements Op.
+func (j *JoinOp) Sources() []Source { return []Source{j.Left, j.Right} }
+
+// Eval implements Op.
+func (j *JoinOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
+	left := projectRows(inputs[0], j.LeftProj, !j.Left.IsOp())
+	right := projectRows(inputs[1], j.RightProj, !j.Right.IsOp())
+
+	var out []exec.Row
+	rightMatched := make([]bool, len(right))
+	for _, l := range left {
+		matched := false
+		for ri, r := range right {
+			pair := exec.Concat(l, r)
+			if j.Residual != nil {
+				ok, err := j.Residual(pair)
+				if err != nil {
+					return nil, fmt.Errorf("join %s residual: %w", j.OpName, err)
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			rightMatched[ri] = true
+			out = append(out, pair)
+		}
+		if !matched && (j.Type == sqlparser.LeftOuterJoin || j.Type == sqlparser.FullOuterJoin) {
+			out = append(out, exec.Concat(l, exec.NullRow(j.RightWidth)))
+		}
+	}
+	if j.Type == sqlparser.RightOuterJoin || j.Type == sqlparser.FullOuterJoin {
+		for ri, r := range right {
+			if !rightMatched[ri] {
+				out = append(out, exec.Concat(exec.NullRow(j.LeftWidth), r))
+			}
+		}
+	}
+	return out, nil
+}
+
+func projectRows(rows []exec.Row, proj []int, apply bool) []exec.Row {
+	if !apply || proj == nil {
+		return rows
+	}
+	out := make([]exec.Row, len(rows))
+	for i, r := range rows {
+		pr := make(exec.Row, len(proj))
+		for pi, idx := range proj {
+			pr[pi] = r[idx]
+		}
+		out[i] = pr
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// AggOp
+// ---------------------------------------------------------------------------
+
+// AggFunc is one aggregate computed by an AggOp.
+type AggFunc struct {
+	Kind exec.AggKind
+	// Arg computes the aggregate input from a row; nil for COUNT(*).
+	Arg RowFn
+}
+
+// AggOp groups its input rows (within the key group) by the GroupBy columns
+// and computes aggregates. Its output rows are the group values followed by
+// the aggregate results. Merged aggregations are correct because job-flow
+// correlation guarantees the reduce partition key is a subset of the
+// grouping columns (paper §IV.A scenario 1).
+type AggOp struct {
+	OpName string
+	In     Source
+	InProj []int // projection applied to stream rows (nil = identity)
+	// GroupBy computes the grouping values from an input row; empty means a
+	// single (global-within-key) group.
+	GroupBy []RowFn
+	Aggs    []AggFunc
+	// FromPartials switches the op to merge combiner-produced partial rows
+	// (group values ++ partial fields) instead of raw rows.
+	FromPartials bool
+}
+
+// Name implements Op.
+func (a *AggOp) Name() string { return a.OpName }
+
+// Sources implements Op.
+func (a *AggOp) Sources() []Source { return []Source{a.In} }
+
+// Eval implements Op.
+func (a *AggOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
+	rows := projectRows(inputs[0], a.InProj, !a.In.IsOp())
+	if a.FromPartials {
+		return a.evalFromPartials(rows)
+	}
+
+	type group struct {
+		vals exec.Row
+		accs []exec.Accumulator
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range rows {
+		gvals := make(exec.Row, len(a.GroupBy))
+		for i, fn := range a.GroupBy {
+			v, err := fn(r)
+			if err != nil {
+				return nil, fmt.Errorf("agg %s group: %w", a.OpName, err)
+			}
+			gvals[i] = v
+		}
+		key := exec.EncodeKey(gvals)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{vals: gvals, accs: make([]exec.Accumulator, len(a.Aggs))}
+			for i, spec := range a.Aggs {
+				g.accs[i] = exec.NewAccumulator(spec.Kind)
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, spec := range a.Aggs {
+			if spec.Arg == nil {
+				g.accs[i].Add(exec.Int(1))
+				continue
+			}
+			v, err := spec.Arg(r)
+			if err != nil {
+				return nil, fmt.Errorf("agg %s arg: %w", a.OpName, err)
+			}
+			g.accs[i].Add(v)
+		}
+	}
+	// A global aggregate over zero rows still yields one row (SQL
+	// semantics); grouped aggregates yield no rows.
+	if len(order) == 0 && len(a.GroupBy) == 0 {
+		out := make(exec.Row, len(a.Aggs))
+		for i, spec := range a.Aggs {
+			out[i] = exec.NewAccumulator(spec.Kind).Result()
+		}
+		return []exec.Row{out}, nil
+	}
+	sort.Strings(order)
+	out := make([]exec.Row, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		row := make(exec.Row, 0, len(g.vals)+len(g.accs))
+		row = append(row, g.vals...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// evalFromPartials merges partial rows (see partial.go) that all belong to
+// one final group: the reduce key of a combined aggregation job is the full
+// grouping key, so every partial row in the group shares its group values.
+func (a *AggOp) evalFromPartials(rows []exec.Row) ([]exec.Row, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	nGroup := len(a.GroupBy)
+	states := make([]partialState, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		states[i] = newPartialState(spec.Kind)
+	}
+	for _, r := range rows {
+		off := nGroup
+		for i, spec := range a.Aggs {
+			w := partialWidth(spec.Kind)
+			if off+w > len(r) {
+				return nil, fmt.Errorf("agg %s: partial row too short (%d cols)", a.OpName, len(r))
+			}
+			if err := states[i].merge(r[off : off+w]); err != nil {
+				return nil, fmt.Errorf("agg %s: %w", a.OpName, err)
+			}
+			off += w
+		}
+	}
+	out := make(exec.Row, 0, nGroup+len(a.Aggs))
+	out = append(out, rows[0][:nGroup]...)
+	for _, st := range states {
+		out = append(out, st.result())
+	}
+	return []exec.Row{out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp, ProjectOp, SortOp
+// ---------------------------------------------------------------------------
+
+// FilterOp keeps input rows passing Pred.
+type FilterOp struct {
+	OpName string
+	In     Source
+	InProj []int
+	Pred   RowPred
+}
+
+// Name implements Op.
+func (f *FilterOp) Name() string { return f.OpName }
+
+// Sources implements Op.
+func (f *FilterOp) Sources() []Source { return []Source{f.In} }
+
+// Eval implements Op.
+func (f *FilterOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
+	rows := projectRows(inputs[0], f.InProj, !f.In.IsOp())
+	var out []exec.Row
+	for _, r := range rows {
+		ok, err := f.Pred(r)
+		if err != nil {
+			return nil, fmt.Errorf("filter %s: %w", f.OpName, err)
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// ProjectOp computes expression columns over each input row.
+type ProjectOp struct {
+	OpName string
+	In     Source
+	InProj []int
+	Exprs  []RowFn
+}
+
+// Name implements Op.
+func (p *ProjectOp) Name() string { return p.OpName }
+
+// Sources implements Op.
+func (p *ProjectOp) Sources() []Source { return []Source{p.In} }
+
+// Eval implements Op.
+func (p *ProjectOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
+	rows := projectRows(inputs[0], p.InProj, !p.In.IsOp())
+	out := make([]exec.Row, 0, len(rows))
+	for _, r := range rows {
+		pr := make(exec.Row, len(p.Exprs))
+		for i, fn := range p.Exprs {
+			v, err := fn(r)
+			if err != nil {
+				return nil, fmt.Errorf("project %s: %w", p.OpName, err)
+			}
+			pr[i] = v
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// SortKey is one ordering key of a SortOp.
+type SortKey struct {
+	Fn   RowFn
+	Desc bool
+}
+
+// SortOp orders its input rows. It is used in single-reduce-task SORT jobs
+// where the key group contains the whole data set.
+type SortOp struct {
+	OpName string
+	In     Source
+	InProj []int
+	Keys   []SortKey
+	// Limit keeps only the first Limit rows after sorting (0 = all).
+	Limit int
+}
+
+// Name implements Op.
+func (s *SortOp) Name() string { return s.OpName }
+
+// Sources implements Op.
+func (s *SortOp) Sources() []Source { return []Source{s.In} }
+
+// Eval implements Op.
+func (s *SortOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
+	rows := projectRows(inputs[0], s.InProj, !s.In.IsOp())
+	out := make([]exec.Row, len(rows))
+	copy(out, rows)
+	var evalErr error
+	sort.SliceStable(out, func(i, k int) bool {
+		for _, key := range s.Keys {
+			vi, err := key.Fn(out[i])
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			vk, err := key.Fn(out[k])
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			c := exec.Compare(vi, vk)
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if evalErr != nil {
+		return nil, fmt.Errorf("sort %s: %w", s.OpName, evalErr)
+	}
+	if s.Limit > 0 && len(out) > s.Limit {
+		out = out[:s.Limit]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Graph evaluation
+// ---------------------------------------------------------------------------
+
+// evalGraph runs the operators over one key group. streams maps stream ID
+// to its rows. It returns each operator's result rows by name, plus the
+// total work (rows consumed across all operators) — the quantity the cost
+// model charges for the common reducer "executing more lines of code" than
+// a single-operation reducer (paper §VII.C).
+func evalGraph(ops []Op, key exec.Row, streams map[int][]exec.Row) (map[string][]exec.Row, int64, error) {
+	byName := make(map[string]Op, len(ops))
+	for _, op := range ops {
+		if _, dup := byName[op.Name()]; dup {
+			return nil, 0, fmt.Errorf("duplicate op %q", op.Name())
+		}
+		byName[op.Name()] = op
+	}
+	results := make(map[string][]exec.Row, len(ops))
+	state := make(map[string]int, len(ops)) // 1 visiting, 2 done
+	var work int64
+
+	var eval func(name string) error
+	eval = func(name string) error {
+		switch state[name] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("op cycle through %q", name)
+		}
+		op, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown op %q", name)
+		}
+		state[name] = 1
+		srcs := op.Sources()
+		inputs := make([][]exec.Row, len(srcs))
+		for i, s := range srcs {
+			if s.IsOp() {
+				if err := eval(s.Op); err != nil {
+					return err
+				}
+				inputs[i] = results[s.Op]
+			} else {
+				inputs[i] = streams[s.Stream]
+			}
+			// Only relational operators count as work: chain filters and
+			// projections are the column-level plumbing a one-to-one
+			// translation runs (uncounted) in its map phases.
+			switch op.(type) {
+			case *JoinOp, *AggOp, *SortOp:
+				work += int64(len(inputs[i]))
+			}
+		}
+		rows, err := op.Eval(key, inputs)
+		if err != nil {
+			return err
+		}
+		results[op.Name()] = rows
+		state[name] = 2
+		return nil
+	}
+	for _, op := range ops {
+		if err := eval(op.Name()); err != nil {
+			return nil, 0, err
+		}
+	}
+	return results, work, nil
+}

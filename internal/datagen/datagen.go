@@ -1,0 +1,220 @@
+// Package datagen produces deterministic synthetic data sets for the
+// paper's two workloads: a TPC-H subset (lineitem, orders, part, customer,
+// supplier, nation — the columns the flattened Q17/Q18/Q21 touch) and a
+// click-stream table for Q-CSA. Generation is seeded, so every experiment
+// is reproducible; row counts are laptop-scale and the cluster cost model's
+// DataScale knob stretches them to paper-scale sizes.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ysmart/internal/exec"
+)
+
+// Tables maps table names to rows.
+type Tables map[string][]exec.Row
+
+// Lines encodes rows in the tab-delimited table format.
+func Lines(rows []exec.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = exec.EncodeRow(r)
+	}
+	return out
+}
+
+// TPCHConfig sizes the TPC-H subset. All counts must be positive.
+type TPCHConfig struct {
+	Orders    int
+	Parts     int
+	Customers int
+	Suppliers int
+	Seed      int64
+}
+
+// DefaultTPCH returns a small configuration suitable for tests.
+func DefaultTPCH() TPCHConfig {
+	return TPCHConfig{Orders: 600, Parts: 80, Customers: 120, Suppliers: 30, Seed: 1}
+}
+
+// TPCH generates the TPC-H subset. Shape choices mirror the benchmark
+// where the queries depend on it:
+//
+//   - each order has 1–7 lineitems (so Q18's HAVING sum(l_quantity) > 300
+//     is selective but non-empty at realistic sizes);
+//   - about half the orders have o_orderstatus = 'F' (Q21's filter);
+//   - about a third of lineitems are late (l_receiptdate > l_commitdate);
+//   - l_quantity is 1–50, as in TPC-H.
+//
+// Join keys are never NULL.
+func TPCH(cfg TPCHConfig) (Tables, error) {
+	if cfg.Orders <= 0 || cfg.Parts <= 0 || cfg.Customers <= 0 || cfg.Suppliers <= 0 {
+		return nil, fmt.Errorf("datagen: all TPC-H counts must be positive: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := Tables{}
+
+	statuses := []string{"F", "O", "P"}
+	orders := make([]exec.Row, cfg.Orders)
+	for i := range orders {
+		status := statuses[weighted(rng, 49, 49, 2)]
+		orders[i] = exec.Row{
+			exec.Int(int64(i + 1)),                          // o_orderkey
+			exec.Int(int64(rng.Intn(cfg.Customers) + 1)),    // o_custkey
+			exec.Str(status),                                // o_orderstatus
+			exec.Float(1000 + float64(rng.Intn(400000))/10), // o_totalprice
+			exec.Int(int64(8000 + rng.Intn(2500))),          // o_orderdate (day number)
+			exec.Str(fmt.Sprintf("Clerk#%09d", rng.Intn(1000))),
+			exec.Str(comment(rng, 48)),
+		}
+	}
+	t["orders"] = orders
+
+	var lineitems []exec.Row
+	for oi := 0; oi < cfg.Orders; oi++ {
+		// About 2% of orders are "large-volume": seven high-quantity lines,
+		// so Q18's HAVING sum(l_quantity) > 300 finds customers at laptop
+		// scale the way TPC-H's millions of orders do at full scale.
+		large := rng.Intn(50) == 0
+		lines := 1 + rng.Intn(7)
+		if large {
+			lines = 7
+		}
+		for li := 0; li < lines; li++ {
+			qty := float64(1 + rng.Intn(50))
+			if large {
+				qty = float64(40 + rng.Intn(11))
+			}
+			price := float64(900 + rng.Intn(100000))
+			commit := int64(8000 + rng.Intn(2500))
+			receipt := commit + int64(rng.Intn(30)) - 9 // ~1/3 late
+			lineitems = append(lineitems, exec.Row{
+				exec.Int(int64(oi + 1)),                      // l_orderkey
+				exec.Int(int64(rng.Intn(cfg.Parts) + 1)),     // l_partkey
+				exec.Int(int64(rng.Intn(cfg.Suppliers) + 1)), // l_suppkey
+				exec.Float(qty),                              // l_quantity
+				exec.Float(qty * price / 100),                // l_extendedprice
+				exec.Int(receipt),                            // l_receiptdate
+				exec.Int(commit),                             // l_commitdate
+				exec.Int(commit - int64(rng.Intn(20))),       // l_shipdate
+				exec.Str([]string{"N", "R", "A"}[rng.Intn(3)]),
+				exec.Str([]string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL"}[rng.Intn(5)]),
+				exec.Str(comment(rng, 27)),
+			})
+		}
+	}
+	t["lineitem"] = lineitems
+
+	parts := make([]exec.Row, cfg.Parts)
+	for i := range parts {
+		parts[i] = exec.Row{
+			exec.Int(int64(i + 1)),
+			exec.Str(fmt.Sprintf("part#%06d", i+1)),
+		}
+	}
+	t["part"] = parts
+
+	customers := make([]exec.Row, cfg.Customers)
+	for i := range customers {
+		customers[i] = exec.Row{
+			exec.Int(int64(i + 1)),
+			exec.Str(fmt.Sprintf("Customer#%09d", i+1)),
+		}
+	}
+	t["customer"] = customers
+
+	suppliers := make([]exec.Row, cfg.Suppliers)
+	for i := range suppliers {
+		suppliers[i] = exec.Row{
+			exec.Int(int64(i + 1)),
+			exec.Str(fmt.Sprintf("Supplier#%09d", i+1)),
+			exec.Int(int64(rng.Intn(25))),
+		}
+	}
+	t["supplier"] = suppliers
+
+	nations := make([]exec.Row, 25)
+	for i := range nations {
+		nations[i] = exec.Row{
+			exec.Int(int64(i)),
+			exec.Str(fmt.Sprintf("NATION%02d", i)),
+		}
+	}
+	t["nation"] = nations
+
+	return t, nil
+}
+
+// comment produces TPC-H-style filler text of roughly n characters, giving
+// rows realistic widths so scan-vs-shuffle proportions match the benchmark.
+func comment(rng *rand.Rand, n int) string {
+	words := []string{"quick", "fox", "deposits", "sleep", "ironic", "packages",
+		"carefully", "final", "requests", "bold", "pinto", "beans"}
+	var sb []byte
+	for len(sb) < n {
+		if len(sb) > 0 {
+			sb = append(sb, ' ')
+		}
+		sb = append(sb, words[rng.Intn(len(words))]...)
+	}
+	return string(sb[:n])
+}
+
+func weighted(rng *rand.Rand, weights ...int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Intn(total)
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// ClickConfig sizes the click-stream table.
+type ClickConfig struct {
+	Users         int
+	ClicksPerUser int
+	Categories    int // must be >= 3 so categories 1 and 2 both occur
+	Seed          int64
+}
+
+// DefaultClicks returns a small configuration suitable for tests.
+func DefaultClicks() ClickConfig {
+	return ClickConfig{Users: 150, ClicksPerUser: 40, Categories: 5, Seed: 2}
+}
+
+// Clickstream generates the CLICKS(uid, page, cid, ts) table of the paper's
+// Fig. 1. Each user has a time-ordered stream of clicks with strictly
+// increasing, unique timestamps and uniformly random categories, so the
+// Q-CSA pattern (a category-1 page later followed by a category-2 page)
+// occurs naturally.
+func Clickstream(cfg ClickConfig) (Tables, error) {
+	if cfg.Users <= 0 || cfg.ClicksPerUser <= 0 {
+		return nil, fmt.Errorf("datagen: click counts must be positive: %+v", cfg)
+	}
+	if cfg.Categories < 3 {
+		return nil, fmt.Errorf("datagen: need at least 3 categories, got %d", cfg.Categories)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []exec.Row
+	for u := 0; u < cfg.Users; u++ {
+		ts := int64(1000 + rng.Intn(50))
+		for c := 0; c < cfg.ClicksPerUser; c++ {
+			ts += int64(1 + rng.Intn(20))
+			rows = append(rows, exec.Row{
+				exec.Int(int64(u + 1)),                    // uid
+				exec.Int(int64(rng.Intn(5000) + 1)),       // page
+				exec.Int(int64(rng.Intn(cfg.Categories))), // cid
+				exec.Int(ts), // ts
+			})
+		}
+	}
+	return Tables{"clicks": rows}, nil
+}

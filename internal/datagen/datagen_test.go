@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"ysmart/internal/exec"
+)
+
+func TestTPCHDeterministicAndShaped(t *testing.T) {
+	cfg := DefaultTPCH()
+	a, err := TPCH(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TPCH(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(Lines(a["lineitem"]), Lines(b["lineitem"])) {
+		t.Error("same seed must generate identical data")
+	}
+	cfg.Seed = 99
+	c, err := TPCH(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(Lines(a["lineitem"]), Lines(c["lineitem"])) {
+		t.Error("different seeds should generate different data")
+	}
+
+	if len(a["orders"]) != cfg.Orders {
+		t.Errorf("orders = %d, want %d", len(a["orders"]), cfg.Orders)
+	}
+	if len(a["part"]) != cfg.Parts || len(a["customer"]) != cfg.Customers {
+		t.Error("part/customer counts wrong")
+	}
+	// Lineitems: 1-7 per order.
+	n := len(a["lineitem"])
+	if n < cfg.Orders || n > 7*cfg.Orders {
+		t.Errorf("lineitems = %d, want within [%d, %d]", n, cfg.Orders, 7*cfg.Orders)
+	}
+
+	// Workload-shape checks: some 'F' orders, some late lineitems, some
+	// large-volume orders (sum quantity > 300).
+	fOrders := 0
+	for _, r := range a["orders"] {
+		if r[2].S == "F" {
+			fOrders++
+		}
+	}
+	if fOrders == 0 || fOrders == len(a["orders"]) {
+		t.Errorf("F orders = %d of %d, want a fraction", fOrders, len(a["orders"]))
+	}
+	late := 0
+	qtyByOrder := map[int64]float64{}
+	for _, r := range a["lineitem"] {
+		if r[5].I > r[6].I {
+			late++
+		}
+		qtyByOrder[r[0].I] += r[3].F
+	}
+	if late == 0 || late == n {
+		t.Errorf("late lineitems = %d of %d, want a fraction", late, n)
+	}
+	big := 0
+	for _, q := range qtyByOrder {
+		if q > 300 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("no large-volume orders: Q18 would be empty")
+	}
+	if big > cfg.Orders/10 {
+		t.Errorf("large-volume orders = %d, want rare (< 10%%)", big)
+	}
+
+	// Join keys must never be NULL.
+	for _, r := range a["lineitem"] {
+		if r[0].IsNull() || r[1].IsNull() || r[2].IsNull() {
+			t.Fatal("NULL join key in lineitem")
+		}
+	}
+}
+
+func TestTPCHConfigValidation(t *testing.T) {
+	if _, err := TPCH(TPCHConfig{Orders: 0, Parts: 1, Customers: 1, Suppliers: 1}); err == nil {
+		t.Error("zero orders should error")
+	}
+}
+
+func TestClickstreamShape(t *testing.T) {
+	cfg := DefaultClicks()
+	tables, err := Clickstream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables["clicks"]
+	if len(rows) != cfg.Users*cfg.ClicksPerUser {
+		t.Fatalf("rows = %d, want %d", len(rows), cfg.Users*cfg.ClicksPerUser)
+	}
+	// Timestamps strictly increase within each user, and categories 1 and 2
+	// both occur.
+	lastTS := map[int64]int64{}
+	cats := map[int64]bool{}
+	for _, r := range rows {
+		uid, cid, ts := r[0].I, r[2].I, r[3].I
+		if prev, ok := lastTS[uid]; ok && ts <= prev {
+			t.Fatalf("uid %d: ts %d not after %d", uid, ts, prev)
+		}
+		lastTS[uid] = ts
+		cats[cid] = true
+		if cid < 0 || cid >= int64(cfg.Categories) {
+			t.Fatalf("cid %d out of range", cid)
+		}
+	}
+	if !cats[1] || !cats[2] {
+		t.Error("categories 1 and 2 must occur for Q-CSA")
+	}
+}
+
+func TestClickstreamValidation(t *testing.T) {
+	if _, err := Clickstream(ClickConfig{Users: 1, ClicksPerUser: 1, Categories: 2}); err == nil {
+		t.Error("too few categories should error")
+	}
+}
+
+func TestLines(t *testing.T) {
+	lines := Lines([]exec.Row{{exec.Int(1), exec.Str("x")}})
+	if len(lines) != 1 || lines[0] != "1\tx" {
+		t.Errorf("lines = %v", lines)
+	}
+}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ysmart/internal/sqlparser"
+)
+
+func TestAggKindOf(t *testing.T) {
+	tests := []struct {
+		sql  string
+		want AggKind
+	}{
+		{"count(*)", AggCountStar},
+		{"count(x)", AggCount},
+		{"count(distinct x)", AggCountDistinct},
+		{"sum(x)", AggSum},
+		{"avg(x)", AggAvg},
+		{"min(x)", AggMin},
+		{"max(x)", AggMax},
+	}
+	for _, tt := range tests {
+		stmt, err := sqlparser.Parse("SELECT " + tt.sql + " FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := stmt.Select[0].Expr.(*sqlparser.FuncCall)
+		got, err := AggKindOf(f)
+		if err != nil {
+			t.Fatalf("AggKindOf(%s): %v", tt.sql, err)
+		}
+		if got != tt.want {
+			t.Errorf("AggKindOf(%s) = %v, want %v", tt.sql, got, tt.want)
+		}
+	}
+	if _, err := AggKindOf(&sqlparser.FuncCall{Name: "UPPER"}); err == nil {
+		t.Error("AggKindOf(UPPER) should error")
+	}
+}
+
+func feed(k AggKind, vals ...Value) Value {
+	acc := NewAccumulator(k)
+	for _, v := range vals {
+		acc.Add(v)
+	}
+	return acc.Result()
+}
+
+func TestAccumulators(t *testing.T) {
+	tests := []struct {
+		name string
+		kind AggKind
+		in   []Value
+		want Value
+	}{
+		{"count star counts everything", AggCountStar, []Value{Int(1), Null(), Str("x")}, Int(3)},
+		{"count skips nulls", AggCount, []Value{Int(1), Null(), Int(2)}, Int(2)},
+		{"count empty", AggCount, nil, Int(0)},
+		{"count distinct", AggCountDistinct, []Value{Int(1), Int(2), Int(1), Null(), Int(2)}, Int(2)},
+		{"count distinct strings", AggCountDistinct, []Value{Str("a"), Str("a"), Str("b")}, Int(2)},
+		{"sum ints", AggSum, []Value{Int(1), Int(2), Int(3)}, Int(6)},
+		{"sum with null", AggSum, []Value{Int(1), Null(), Int(2)}, Int(3)},
+		{"sum promotes to float", AggSum, []Value{Int(1), Float(0.5)}, Float(1.5)},
+		{"sum floats then int", AggSum, []Value{Float(0.5), Int(1)}, Float(1.5)},
+		{"sum empty is null", AggSum, nil, Null()},
+		{"sum only nulls is null", AggSum, []Value{Null(), Null()}, Null()},
+		{"avg", AggAvg, []Value{Int(1), Int(2), Int(3)}, Float(2)},
+		{"avg skips null", AggAvg, []Value{Int(2), Null(), Int(4)}, Float(3)},
+		{"avg empty is null", AggAvg, nil, Null()},
+		{"min ints", AggMin, []Value{Int(3), Int(1), Int(2)}, Int(1)},
+		{"min skips null", AggMin, []Value{Null(), Int(5)}, Int(5)},
+		{"min strings", AggMin, []Value{Str("b"), Str("a")}, Str("a")},
+		{"min empty is null", AggMin, nil, Null()},
+		{"max", AggMax, []Value{Int(3), Int(9), Int(2)}, Int(9)},
+		{"max mixed numeric", AggMax, []Value{Int(3), Float(3.5)}, Float(3.5)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := feed(tt.kind, tt.in...); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAggResultType(t *testing.T) {
+	tests := []struct {
+		kind  AggKind
+		input Type
+		want  Type
+	}{
+		{AggCountStar, TypeString, TypeInt},
+		{AggCount, TypeFloat, TypeInt},
+		{AggCountDistinct, TypeInt, TypeInt},
+		{AggAvg, TypeInt, TypeFloat},
+		{AggSum, TypeInt, TypeInt},
+		{AggSum, TypeFloat, TypeFloat},
+		{AggMin, TypeString, TypeString},
+		{AggMax, TypeFloat, TypeFloat},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.ResultType(tt.input); got != tt.want {
+			t.Errorf("%v.ResultType(%v) = %v, want %v", tt.kind, tt.input, got, tt.want)
+		}
+	}
+}
+
+// Property: SUM/COUNT/AVG agree with a direct computation over random
+// int slices with NULLs sprinkled in.
+func TestAggProperty(t *testing.T) {
+	f := func(xs []int16, nullMask []bool) bool {
+		sum := NewAccumulator(AggSum)
+		count := NewAccumulator(AggCount)
+		avg := NewAccumulator(AggAvg)
+		var wantSum int64
+		var wantN int64
+		for i, x := range xs {
+			v := Int(int64(x))
+			if i < len(nullMask) && nullMask[i] {
+				v = Null()
+			} else {
+				wantSum += int64(x)
+				wantN++
+			}
+			sum.Add(v)
+			count.Add(v)
+			avg.Add(v)
+		}
+		if count.Result().I != wantN {
+			return false
+		}
+		if wantN == 0 {
+			return sum.Result().IsNull() && avg.Result().IsNull()
+		}
+		if sum.Result().I != wantSum {
+			return false
+		}
+		return avg.Result().F == float64(wantSum)/float64(wantN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MIN <= every input <= MAX, and both are members of the input.
+func TestMinMaxProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(20)
+		minAcc := NewAccumulator(AggMin)
+		maxAcc := NewAccumulator(AggMax)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Int(r.Int63n(1000))
+			minAcc.Add(vals[i])
+			maxAcc.Add(vals[i])
+		}
+		lo, hi := minAcc.Result(), maxAcc.Result()
+		foundLo, foundHi := false, false
+		for _, v := range vals {
+			if Compare(v, lo) < 0 || Compare(v, hi) > 0 {
+				t.Fatalf("min/max violated: %v not in [%v, %v]", v, lo, hi)
+			}
+			if Compare(v, lo) == 0 {
+				foundLo = true
+			}
+			if Compare(v, hi) == 0 {
+				foundHi = true
+			}
+		}
+		if !foundLo || !foundHi {
+			t.Fatal("min or max is not an input member")
+		}
+	}
+}
+
+// Property: COUNT DISTINCT equals the size of a reference set.
+func TestCountDistinctProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		acc := NewAccumulator(AggCountDistinct)
+		ref := make(map[uint8]struct{})
+		for _, x := range xs {
+			acc.Add(Int(int64(x)))
+			ref[x] = struct{}{}
+		}
+		return acc.Result().I == int64(len(ref))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

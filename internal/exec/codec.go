@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The row codec renders rows as tab-separated fields, one row per line,
+// in the style of Hive's default text SerDe: NULL is `\N`, and tab,
+// newline, carriage return and backslash are backslash-escaped so the
+// encoding is injective. Floats always carry a '.' or exponent so that
+// DecodeField can recover their type without a schema.
+
+const nullField = `\N`
+
+// EncodeField renders a single value as a codec field.
+func EncodeField(v Value) string {
+	switch v.T {
+	case TypeNull:
+		return nullField
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && s != "NaN" {
+			s += ".0"
+		}
+		return s
+	case TypeString:
+		return escapeString(v.S)
+	case TypeBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return nullField
+	}
+}
+
+func escapeString(s string) string {
+	if !strings.ContainsAny(s, "\\\t\n\r") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+func unescapeString(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape in field %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case 't':
+			sb.WriteByte('\t')
+		case 'n':
+			sb.WriteByte('\n')
+		case 'r':
+			sb.WriteByte('\r')
+		case 'N':
+			// `\N` alone means NULL; embedded it round-trips as literal.
+			sb.WriteString("N")
+		default:
+			return "", fmt.Errorf("unknown escape %q in field %q", s[i], s)
+		}
+	}
+	return sb.String(), nil
+}
+
+// DecodeField parses a field produced by EncodeField into a value of the
+// given type. With TypeNull as the expected type the field's own syntax
+// decides (used for schema-less intermediate data): integers, floats,
+// true/false and NULL are recognized, anything else is a string.
+func DecodeField(field string, t Type) (Value, error) {
+	if field == nullField {
+		return Null(), nil
+	}
+	switch t {
+	case TypeInt:
+		i, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse int field %q: %w", field, err)
+		}
+		return Int(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse float field %q: %w", field, err)
+		}
+		return Float(f), nil
+	case TypeBool:
+		switch field {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return Value{}, fmt.Errorf("parse bool field %q", field)
+	case TypeString:
+		s, err := unescapeString(field)
+		if err != nil {
+			return Value{}, err
+		}
+		return Str(s), nil
+	case TypeNull:
+		// Untyped: infer from syntax.
+		if i, err := strconv.ParseInt(field, 10, 64); err == nil {
+			return Int(i), nil
+		}
+		if strings.ContainsAny(field, ".eE") || strings.Contains(field, "Inf") || field == "NaN" {
+			if f, err := strconv.ParseFloat(field, 64); err == nil {
+				return Float(f), nil
+			}
+		}
+		if field == "true" {
+			return Bool(true), nil
+		}
+		if field == "false" {
+			return Bool(false), nil
+		}
+		s, err := unescapeString(field)
+		if err != nil {
+			return Value{}, err
+		}
+		return Str(s), nil
+	default:
+		return Value{}, fmt.Errorf("decode field: unsupported type %v", t)
+	}
+}
+
+// EncodeRow renders a row as tab-separated fields.
+func EncodeRow(r Row) string {
+	if len(r) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		sb.WriteString(EncodeField(v))
+	}
+	return sb.String()
+}
+
+// DecodeRow parses a tab-separated line into a row using the schema's
+// column types.
+func DecodeRow(line string, s *Schema) (Row, error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != len(s.Cols) {
+		return nil, fmt.Errorf("row has %d fields, schema %s has %d", len(fields), s, len(s.Cols))
+	}
+	row := make(Row, len(fields))
+	for i, f := range fields {
+		v, err := DecodeField(f, s.Cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %s: %w", s.Cols[i].QualifiedName(), err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// DecodeRowUntyped parses a tab-separated line inferring each field's type
+// from its syntax. Used for intermediate MapReduce values where only field
+// count is known.
+func DecodeRowUntyped(line string) (Row, error) {
+	if line == "" {
+		return Row{}, nil
+	}
+	fields := strings.Split(line, "\t")
+	row := make(Row, len(fields))
+	for i, f := range fields {
+		v, err := DecodeField(f, TypeNull)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// EncodeKey renders a list of values as a grouping/partition key. The
+// encoding is injective (delegates to EncodeRow) and preserves nothing
+// about ordering; use Compare on decoded values to sort keys.
+func EncodeKey(vals []Value) string { return EncodeRow(Row(vals)) }

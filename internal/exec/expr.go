@@ -1,0 +1,587 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ysmart/internal/sqlparser"
+)
+
+// Evaluator computes a value from a row. Compiled evaluators never mutate
+// the row and are safe for concurrent use.
+type Evaluator func(Row) (Value, error)
+
+// Compile translates a scalar sqlparser expression into an evaluator bound
+// to the given schema. Aggregate function calls are rejected: the planner
+// rewrites them into column references of aggregation outputs before any
+// expression reaches Compile.
+func Compile(e sqlparser.Expr, s *Schema) (Evaluator, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		idx, err := s.Resolve(x.Qualifier, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(r Row) (Value, error) {
+			if idx >= len(r) {
+				return Value{}, fmt.Errorf("row too short: index %d, len %d", idx, len(r))
+			}
+			return r[idx], nil
+		}, nil
+
+	case *sqlparser.Literal:
+		v := literalValue(x)
+		return func(Row) (Value, error) { return v, nil }, nil
+
+	case *sqlparser.BinaryExpr:
+		return compileBinary(x, s)
+
+	case *sqlparser.UnaryExpr:
+		inner, err := Compile(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case sqlparser.OpNeg:
+			return func(r Row) (Value, error) {
+				v, err := inner(r)
+				if err != nil {
+					return Value{}, err
+				}
+				switch v.T {
+				case TypeNull:
+					return Null(), nil
+				case TypeInt:
+					return Int(-v.I), nil
+				case TypeFloat:
+					return Float(-v.F), nil
+				default:
+					return Value{}, fmt.Errorf("cannot negate %s", v.T)
+				}
+			}, nil
+		case sqlparser.OpNot:
+			return func(r Row) (Value, error) {
+				v, err := inner(r)
+				if err != nil {
+					return Value{}, err
+				}
+				if v.IsNull() {
+					return Null(), nil
+				}
+				if v.T != TypeBool {
+					return Value{}, fmt.Errorf("NOT applied to %s", v.T)
+				}
+				return Bool(!v.B), nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("unknown unary operator")
+		}
+
+	case *sqlparser.FuncCall:
+		if x.IsAggregate() {
+			return nil, fmt.Errorf("aggregate %s not allowed in scalar context", x.Name)
+		}
+		return compileScalarFunc(x, s)
+
+	case *sqlparser.IsNullExpr:
+		inner, err := Compile(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(r Row) (Value, error) {
+			v, err := inner(r)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(v.IsNull() != not), nil
+		}, nil
+
+	case *sqlparser.BetweenExpr:
+		// x BETWEEN lo AND hi  ==  x >= lo AND x <= hi (three-valued).
+		rewritten := &sqlparser.BinaryExpr{
+			Op: sqlparser.OpAnd,
+			L:  &sqlparser.BinaryExpr{Op: sqlparser.OpGe, L: x.X, R: x.Lo},
+			R:  &sqlparser.BinaryExpr{Op: sqlparser.OpLe, L: x.X, R: x.Hi},
+		}
+		ev, err := Compile(rewritten, s)
+		if err != nil {
+			return nil, err
+		}
+		if !x.Not {
+			return ev, nil
+		}
+		return func(r Row) (Value, error) {
+			v, err := ev(r)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			return Bool(!v.B), nil
+		}, nil
+
+	case *sqlparser.InListExpr:
+		inner, err := Compile(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Evaluator, len(x.Items))
+		for i, it := range x.Items {
+			ev, err := Compile(it, s)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = ev
+		}
+		not := x.Not
+		return func(r Row) (Value, error) {
+			v, err := inner(r)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsNull() {
+				return Null(), nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(r)
+				if err != nil {
+					return Value{}, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				eq, err := compareValues(sqlparser.OpEq, v, iv)
+				if err != nil {
+					return Value{}, err
+				}
+				if !eq.IsNull() && eq.B {
+					return Bool(!not), nil
+				}
+			}
+			if sawNull {
+				return Null(), nil
+			}
+			return Bool(not), nil
+		}, nil
+
+	case *sqlparser.CaseExpr:
+		type arm struct{ cond, then Evaluator }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := Compile(w.Cond, s)
+			if err != nil {
+				return nil, err
+			}
+			t, err := Compile(w.Then, s)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, t}
+		}
+		var elseEv Evaluator
+		if x.Else != nil {
+			ev, err := Compile(x.Else, s)
+			if err != nil {
+				return nil, err
+			}
+			elseEv = ev
+		}
+		return func(r Row) (Value, error) {
+			for _, a := range arms {
+				cv, err := a.cond(r)
+				if err != nil {
+					return Value{}, err
+				}
+				if !cv.IsNull() && cv.T == TypeBool && cv.B {
+					return a.then(r)
+				}
+			}
+			if elseEv != nil {
+				return elseEv(r)
+			}
+			return Null(), nil
+		}, nil
+
+	case *sqlparser.InSubqueryExpr:
+		return nil, fmt.Errorf("IN (SELECT ...) is only supported as a top-level WHERE conjunct")
+
+	default:
+		return nil, fmt.Errorf("cannot compile expression %T", e)
+	}
+}
+
+func literalValue(l *sqlparser.Literal) Value {
+	switch l.Kind {
+	case sqlparser.LitInt:
+		return Int(l.Int)
+	case sqlparser.LitFloat:
+		return Float(l.Float)
+	case sqlparser.LitString:
+		return Str(l.Str)
+	case sqlparser.LitBool:
+		return Bool(l.Bool)
+	default:
+		return Null()
+	}
+}
+
+func compileBinary(x *sqlparser.BinaryExpr, s *Schema) (Evaluator, error) {
+	left, err := Compile(x.L, s)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Compile(x.R, s)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+
+	switch op {
+	case sqlparser.OpAnd:
+		return func(r Row) (Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return Value{}, err
+			}
+			// Three-valued AND with short circuit on FALSE.
+			if lv.T == TypeBool && !lv.B {
+				return Bool(false), nil
+			}
+			rv, err := right(r)
+			if err != nil {
+				return Value{}, err
+			}
+			if rv.T == TypeBool && !rv.B {
+				return Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			if lv.T != TypeBool || rv.T != TypeBool {
+				return Value{}, fmt.Errorf("AND requires booleans, got %s and %s", lv.T, rv.T)
+			}
+			return Bool(true), nil
+		}, nil
+	case sqlparser.OpOr:
+		return func(r Row) (Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.T == TypeBool && lv.B {
+				return Bool(true), nil
+			}
+			rv, err := right(r)
+			if err != nil {
+				return Value{}, err
+			}
+			if rv.T == TypeBool && rv.B {
+				return Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			if lv.T != TypeBool || rv.T != TypeBool {
+				return Value{}, fmt.Errorf("OR requires booleans, got %s and %s", lv.T, rv.T)
+			}
+			return Bool(false), nil
+		}, nil
+	}
+
+	return func(r Row) (Value, error) {
+		lv, err := left(r)
+		if err != nil {
+			return Value{}, err
+		}
+		rv, err := right(r)
+		if err != nil {
+			return Value{}, err
+		}
+		if op.IsComparison() {
+			return compareValues(op, lv, rv)
+		}
+		return arithmetic(op, lv, rv)
+	}, nil
+}
+
+// compareValues implements SQL comparison with three-valued logic: any NULL
+// operand yields NULL.
+func compareValues(op sqlparser.BinaryOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	var c int
+	switch {
+	case a.IsNumeric() && b.IsNumeric():
+		c = Compare(a, b)
+	case a.T == b.T:
+		c = Compare(a, b)
+	default:
+		return Value{}, fmt.Errorf("cannot compare %s with %s", a.T, b.T)
+	}
+	switch op {
+	case sqlparser.OpEq:
+		return Bool(c == 0), nil
+	case sqlparser.OpNe:
+		return Bool(c != 0), nil
+	case sqlparser.OpLt:
+		return Bool(c < 0), nil
+	case sqlparser.OpLe:
+		return Bool(c <= 0), nil
+	case sqlparser.OpGt:
+		return Bool(c > 0), nil
+	case sqlparser.OpGe:
+		return Bool(c >= 0), nil
+	default:
+		return Value{}, fmt.Errorf("not a comparison operator: %v", op)
+	}
+}
+
+// arithmetic implements +, -, *, /, % with NULL propagation. Integer
+// operands stay integral except for division, which always produces a
+// float (matching Hive's double division).
+func arithmetic(op sqlparser.BinaryOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Value{}, fmt.Errorf("arithmetic on %s and %s", a.T, b.T)
+	}
+	if op == sqlparser.OpDiv {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		if bf == 0 {
+			return Null(), nil // SQL engines raise; NULL keeps pipelines total
+		}
+		return Float(af / bf), nil
+	}
+	if a.T == TypeInt && b.T == TypeInt {
+		switch op {
+		case sqlparser.OpAdd:
+			return Int(a.I + b.I), nil
+		case sqlparser.OpSub:
+			return Int(a.I - b.I), nil
+		case sqlparser.OpMul:
+			return Int(a.I * b.I), nil
+		case sqlparser.OpMod:
+			if b.I == 0 {
+				return Null(), nil
+			}
+			return Int(a.I % b.I), nil
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch op {
+	case sqlparser.OpAdd:
+		return Float(af + bf), nil
+	case sqlparser.OpSub:
+		return Float(af - bf), nil
+	case sqlparser.OpMul:
+		return Float(af * bf), nil
+	case sqlparser.OpMod:
+		if bf == 0 {
+			return Null(), nil
+		}
+		return Float(math.Mod(af, bf)), nil
+	default:
+		return Value{}, fmt.Errorf("not an arithmetic operator: %v", op)
+	}
+}
+
+// compileScalarFunc supports a handful of non-aggregate helpers.
+func compileScalarFunc(x *sqlparser.FuncCall, s *Schema) (Evaluator, error) {
+	args := make([]Evaluator, len(x.Args))
+	for i, a := range x.Args {
+		ev, err := Compile(a, s)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "ABS":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(r Row) (Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch v.T {
+			case TypeInt:
+				if v.I < 0 {
+					return Int(-v.I), nil
+				}
+				return v, nil
+			case TypeFloat:
+				return Float(math.Abs(v.F)), nil
+			default:
+				return Value{}, fmt.Errorf("ABS of %s", v.T)
+			}
+		}, nil
+	case "LOWER", "UPPER":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		upper := x.Name == "UPPER"
+		return func(r Row) (Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.T != TypeString {
+				return Value{}, fmt.Errorf("%s of %s", x.Name, v.T)
+			}
+			if upper {
+				return Str(strings.ToUpper(v.S)), nil
+			}
+			return Str(strings.ToLower(v.S)), nil
+		}, nil
+	case "LENGTH":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(r Row) (Value, error) {
+			v, err := args[0](r)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			if v.T != TypeString {
+				return Value{}, fmt.Errorf("LENGTH of %s", v.T)
+			}
+			return Int(int64(len(v.S))), nil
+		}, nil
+	case "COALESCE":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("COALESCE needs at least one argument")
+		}
+		return func(r Row) (Value, error) {
+			for _, a := range args {
+				v, err := a(r)
+				if err != nil {
+					return Value{}, err
+				}
+				if !v.IsNull() {
+					return v, nil
+				}
+			}
+			return Null(), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown function %s", x.Name)
+	}
+}
+
+// EvalPredicate runs a compiled predicate and reports whether the row
+// passes: only a non-NULL TRUE passes (SQL WHERE semantics).
+func EvalPredicate(ev Evaluator, r Row) (bool, error) {
+	if ev == nil {
+		return true, nil
+	}
+	v, err := ev(r)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.T != TypeBool {
+		return false, fmt.Errorf("predicate evaluated to %s, want bool", v.T)
+	}
+	return v.B, nil
+}
+
+// InferType predicts the runtime type of an expression against a schema.
+// It mirrors the evaluator's promotion rules and is used to type derived
+// schemas. NULL literals infer as TypeNull.
+func InferType(e sqlparser.Expr, s *Schema) (Type, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		idx, err := s.Resolve(x.Qualifier, x.Name)
+		if err != nil {
+			return 0, err
+		}
+		return s.Cols[idx].Type, nil
+	case *sqlparser.Literal:
+		switch x.Kind {
+		case sqlparser.LitInt:
+			return TypeInt, nil
+		case sqlparser.LitFloat:
+			return TypeFloat, nil
+		case sqlparser.LitString:
+			return TypeString, nil
+		case sqlparser.LitBool:
+			return TypeBool, nil
+		default:
+			return TypeNull, nil
+		}
+	case *sqlparser.BinaryExpr:
+		if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr || x.Op.IsComparison() {
+			return TypeBool, nil
+		}
+		lt, err := InferType(x.L, s)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := InferType(x.R, s)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == sqlparser.OpDiv {
+			return TypeFloat, nil
+		}
+		if lt == TypeFloat || rt == TypeFloat {
+			return TypeFloat, nil
+		}
+		return TypeInt, nil
+	case *sqlparser.UnaryExpr:
+		if x.Op == sqlparser.OpNot {
+			return TypeBool, nil
+		}
+		return InferType(x.X, s)
+	case *sqlparser.FuncCall:
+		switch x.Name {
+		case "COUNT", "LENGTH":
+			return TypeInt, nil
+		case "AVG":
+			return TypeFloat, nil
+		case "SUM", "MIN", "MAX", "ABS", "COALESCE":
+			if x.Star || len(x.Args) == 0 {
+				return TypeInt, nil
+			}
+			return InferType(x.Args[0], s)
+		case "LOWER", "UPPER":
+			return TypeString, nil
+		default:
+			return 0, fmt.Errorf("unknown function %s", x.Name)
+		}
+	case *sqlparser.IsNullExpr, *sqlparser.BetweenExpr, *sqlparser.InListExpr, *sqlparser.InSubqueryExpr:
+		return TypeBool, nil
+	case *sqlparser.CaseExpr:
+		for _, w := range x.Whens {
+			t, err := InferType(w.Then, s)
+			if err != nil {
+				return 0, err
+			}
+			if t != TypeNull {
+				return t, nil
+			}
+		}
+		if x.Else != nil {
+			return InferType(x.Else, s)
+		}
+		return TypeNull, nil
+	default:
+		return 0, fmt.Errorf("cannot infer type of %T", e)
+	}
+}

@@ -1,0 +1,36 @@
+package exec
+
+import "testing"
+
+// FuzzDecodeRowUntyped asserts the codec is total on arbitrary input
+// (decode either succeeds or errors, never panics) and idempotent on its
+// own output: re-encoding a decoded row and decoding again is stable.
+func FuzzDecodeRowUntyped(f *testing.F) {
+	seeds := []string{
+		"",
+		"1\t2.5\ttext\ttrue",
+		`\N`,
+		`a\tb\\c\nd`,
+		"\t\t",
+		`x\qy`, // invalid escape
+		"-0.0\tNaN\t+Inf",
+		"9223372036854775807\t-9223372036854775808",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		row, err := DecodeRowUntyped(line)
+		if err != nil {
+			return
+		}
+		enc := EncodeRow(row)
+		again, err := DecodeRowUntyped(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %q -> %q: %v", line, enc, err)
+		}
+		if EncodeRow(again) != enc {
+			t.Fatalf("codec not idempotent: %q -> %q -> %q", line, enc, EncodeRow(again))
+		}
+	})
+}

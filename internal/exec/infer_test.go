@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"testing"
+
+	"ysmart/internal/sqlparser"
+)
+
+// Additional InferType branch coverage beyond the happy paths.
+func TestInferTypeEdgeBranches(t *testing.T) {
+	s := testSchema()
+	tests := []struct {
+		expr string
+		want Type
+	}{
+		{"NULL", TypeNull},
+		{"NOT b", TypeBool},
+		{"-i", TypeInt},
+		{"-f", TypeFloat},
+		{"i BETWEEN 1 AND 2", TypeBool},
+		{"i IN (1, 2)", TypeBool},
+		{"count(distinct s)", TypeInt},
+		{"min(f)", TypeFloat},
+		{"coalesce(i, 2)", TypeInt},
+		{"length(s)", TypeInt},
+		{"abs(i)", TypeInt},
+		{"lower(s)", TypeString},
+		{"i AND b", TypeBool}, // typing is structural; evaluation rejects it
+		{"CASE WHEN b THEN NULL ELSE 'x' END", TypeString},
+		{"CASE WHEN b THEN NULL END", TypeNull},
+	}
+	for _, tt := range tests {
+		stmt, err := sqlparser.Parse("SELECT " + tt.expr + " FROM t")
+		if err != nil {
+			t.Fatalf("parse %q: %v", tt.expr, err)
+		}
+		got, err := InferType(stmt.Select[0].Expr, s)
+		if err != nil {
+			t.Fatalf("InferType(%q): %v", tt.expr, err)
+		}
+		if got != tt.want {
+			t.Errorf("InferType(%q) = %v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestInferTypeErrors(t *testing.T) {
+	s := testSchema()
+	bad := []string{
+		"nosuchcol",
+		"nosuchcol + 1",
+		"nosuchfunc(i)",
+		"sum(nosuchcol)",
+		"CASE WHEN b THEN nosuchcol END",
+	}
+	for _, exprSQL := range bad {
+		stmt, err := sqlparser.Parse("SELECT " + exprSQL + " FROM t")
+		if err != nil {
+			t.Fatalf("parse %q: %v", exprSQL, err)
+		}
+		if _, err := InferType(stmt.Select[0].Expr, s); err == nil {
+			t.Errorf("InferType(%q) succeeded, want error", exprSQL)
+		}
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	for kind, want := range map[AggKind]string{
+		AggCountStar:     "COUNT(*)",
+		AggCount:         "COUNT",
+		AggCountDistinct: "COUNT(DISTINCT)",
+		AggSum:           "SUM",
+		AggAvg:           "AVG",
+		AggMin:           "MIN",
+		AggMax:           "MAX",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", kind, got, want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema. Table is the binding
+// (table name or alias) the column is reachable through; it may be empty
+// for computed columns.
+type Column struct {
+	Table string
+	Name  string
+	Type  Type
+	// Hidden excludes the column from unqualified name resolution. The
+	// planner hides columns it introduces internally (e.g. the subquery
+	// side of a semi-join) so they never shadow user-visible names;
+	// qualified references still resolve.
+	Hidden bool
+}
+
+// QualifiedName renders table.name, or just name when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Schema is an ordered list of columns. Column name matching is
+// case-insensitive, mirroring SQL identifier semantics.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// AmbiguousColumnError reports a column reference that matches more than one
+// schema column.
+type AmbiguousColumnError struct{ Name string }
+
+func (e *AmbiguousColumnError) Error() string {
+	return fmt.Sprintf("column %q is ambiguous", e.Name)
+}
+
+// UnknownColumnError reports a column reference with no match.
+type UnknownColumnError struct{ Name string }
+
+func (e *UnknownColumnError) Error() string {
+	return fmt.Sprintf("unknown column %q", e.Name)
+}
+
+// Resolve finds the index of a (possibly qualified) column reference.
+// An empty qualifier matches any table; a non-empty qualifier must match
+// the column's Table binding exactly (case-insensitively).
+func (s *Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier == "" && c.Hidden {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Table, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			full := name
+			if qualifier != "" {
+				full = qualifier + "." + name
+			}
+			return 0, &AmbiguousColumnError{Name: full}
+		}
+		found = i
+	}
+	if found < 0 {
+		full := name
+		if qualifier != "" {
+			full = qualifier + "." + name
+		}
+		return 0, &UnknownColumnError{Name: full}
+	}
+	return found, nil
+}
+
+// Rebind returns a copy of the schema with every column's Table set to
+// binding — used when a derived table output is given an alias.
+func (s *Schema) Rebind(binding string) *Schema {
+	out := &Schema{Cols: make([]Column, len(s.Cols))}
+	for i, c := range s.Cols {
+		c.Table = binding
+		out.Cols[i] = c
+	}
+	return out
+}
+
+// Concat returns a schema with s's columns followed by t's.
+func (s *Schema) Concat(t *Schema) *Schema {
+	out := &Schema{Cols: make([]Column, 0, len(s.Cols)+len(t.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, t.Cols...)
+	return out
+}
+
+// String renders the schema as "(table.col type, ...)".
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.QualifiedName() + " " + c.Type.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColumnQualifiedName(t *testing.T) {
+	if got := (Column{Table: "t", Name: "c"}).QualifiedName(); got != "t.c" {
+		t.Errorf("QualifiedName = %q", got)
+	}
+	if got := (Column{Name: "c"}).QualifiedName(); got != "c" {
+		t.Errorf("unqualified = %q", got)
+	}
+}
+
+func TestSchemaResolveCaseInsensitive(t *testing.T) {
+	s := NewSchema(
+		Column{Table: "Orders", Name: "O_OrderKey", Type: TypeInt},
+	)
+	for _, ref := range [][2]string{
+		{"orders", "o_orderkey"},
+		{"ORDERS", "O_ORDERKEY"},
+		{"", "o_orderkey"},
+	} {
+		idx, err := s.Resolve(ref[0], ref[1])
+		if err != nil || idx != 0 {
+			t.Errorf("Resolve(%q, %q) = (%d, %v)", ref[0], ref[1], idx, err)
+		}
+	}
+}
+
+func TestSchemaRebind(t *testing.T) {
+	s := NewSchema(
+		Column{Table: "old", Name: "a", Type: TypeInt},
+		Column{Name: "b", Type: TypeString},
+	)
+	r := s.Rebind("alias")
+	for _, c := range r.Cols {
+		if c.Table != "alias" {
+			t.Errorf("column %s not rebound", c.Name)
+		}
+	}
+	// The original is untouched.
+	if s.Cols[0].Table != "old" {
+		t.Error("Rebind mutated the original schema")
+	}
+	if _, err := r.Resolve("alias", "b"); err != nil {
+		t.Errorf("rebound column not resolvable: %v", err)
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := NewSchema(Column{Name: "x", Type: TypeInt})
+	b := NewSchema(Column{Name: "y", Type: TypeString}, Column{Name: "z", Type: TypeBool})
+	c := a.Concat(b)
+	if c.Len() != 3 || c.Cols[2].Name != "z" {
+		t.Errorf("Concat = %s", c)
+	}
+	// The result is independent of its inputs.
+	c.Cols[0].Name = "mutated"
+	if a.Cols[0].Name != "x" {
+		t.Error("Concat shares column storage")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(
+		Column{Table: "t", Name: "a", Type: TypeInt},
+		Column{Name: "b", Type: TypeFloat},
+	)
+	got := s.String()
+	if !strings.Contains(got, "t.a int") || !strings.Contains(got, "b float") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeNull:   "null",
+		TypeInt:    "int",
+		TypeFloat:  "float",
+		TypeString: "string",
+		TypeBool:   "bool",
+		Type(99):   "Type(99)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DFS is the simulated distributed file system. Files are ordered lists of
+// text lines. The zero value is not usable; call NewDFS.
+type DFS struct {
+	mu    sync.RWMutex
+	files map[string][]string
+}
+
+// NewDFS returns an empty file system.
+func NewDFS() *DFS {
+	return &DFS{files: make(map[string][]string)}
+}
+
+// FileNotFoundError reports a read of a missing path.
+type FileNotFoundError struct{ Path string }
+
+func (e *FileNotFoundError) Error() string {
+	return fmt.Sprintf("dfs: file %q not found", e.Path)
+}
+
+// Write stores lines at path, replacing any previous content. The slice is
+// copied.
+func (d *DFS) Write(path string, lines []string) {
+	cp := make([]string, len(lines))
+	copy(cp, lines)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[path] = cp
+}
+
+// Append adds lines to path, creating it if absent.
+func (d *DFS) Append(path string, lines []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[path] = append(d.files[path], lines...)
+}
+
+// Read returns the lines of path. The returned slice is shared; callers
+// must not mutate it.
+func (d *DFS) Read(path string) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	lines, ok := d.files[path]
+	if !ok {
+		return nil, &FileNotFoundError{Path: path}
+	}
+	return lines, nil
+}
+
+// Exists reports whether path is present.
+func (d *DFS) Exists(path string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.files[path]
+	return ok
+}
+
+// Delete removes path; deleting a missing path is a no-op.
+func (d *DFS) Delete(path string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, path)
+}
+
+// SizeBytes returns the byte size of path's content (line bytes plus one
+// newline per line), or 0 if absent.
+func (d *DFS) SizeBytes(path string) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, l := range d.files[path] {
+		n += int64(len(l)) + 1
+	}
+	return n
+}
+
+// List returns all paths in sorted order.
+func (d *DFS) List() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.files))
+	for p := range d.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// linesBytes computes the encoded size of a line batch.
+func linesBytes(lines []string) int64 {
+	var n int64
+	for _, l := range lines {
+		n += int64(len(l)) + 1
+	}
+	return n
+}

@@ -1,0 +1,367 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Engine executes jobs against a DFS and costs them against a cluster
+// model. It is not safe for concurrent use.
+type Engine struct {
+	dfs     *DFS
+	cluster *Cluster
+	gapRNG  *rand.Rand
+}
+
+// NewEngine builds an engine. The cluster must validate.
+func NewEngine(dfs *DFS, cluster *Cluster) (*Engine, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		dfs:     dfs,
+		cluster: cluster,
+		gapRNG:  rand.New(rand.NewSource(cluster.Contention.Seed)),
+	}, nil
+}
+
+// DFS returns the engine's file system.
+func (e *Engine) DFS() *DFS { return e.dfs }
+
+// Cluster returns the engine's cluster model.
+func (e *Engine) Cluster() *Cluster { return e.cluster }
+
+// RunChain executes jobs sequentially in dependency order (the way Hive
+// drove its job chains) and returns per-job stats in execution order.
+func (e *Engine) RunChain(jobs []*Job) (*ChainStats, error) {
+	ordered, err := topoSort(jobs)
+	if err != nil {
+		return nil, err
+	}
+	stats := &ChainStats{}
+	for i, j := range ordered {
+		js, err := e.RunJob(j)
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", j.Name, err)
+		}
+		if i > 0 {
+			js.GapBefore = e.nextGap()
+		}
+		stats.Jobs = append(stats.Jobs, js)
+	}
+	return stats, nil
+}
+
+// nextGap draws the contention-induced delay inserted before a job.
+func (e *Engine) nextGap() float64 {
+	c := e.cluster.Contention
+	if !c.Enabled {
+		return 0
+	}
+	return c.GapMin + e.gapRNG.Float64()*(c.GapMax-c.GapMin)
+}
+
+func topoSort(jobs []*Job) ([]*Job, error) {
+	state := make(map[*Job]int, len(jobs)) // 0 unseen, 1 visiting, 2 done
+	inSet := make(map[*Job]bool, len(jobs))
+	for _, j := range jobs {
+		inSet[j] = true
+	}
+	var out []*Job
+	var visit func(j *Job) error
+	visit = func(j *Job) error {
+		switch state[j] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("dependency cycle through job %s", j.Name)
+		}
+		state[j] = 1
+		for _, d := range j.DependsOn {
+			if !inSet[d] {
+				return fmt.Errorf("job %s depends on %s which is not in the chain", j.Name, d.Name)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[j] = 2
+		out = append(out, j)
+		return nil
+	}
+	for _, j := range jobs {
+		if err := visit(j); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// kv is one map output pair.
+type kv struct{ key, value string }
+
+// RunJob executes a single job: map over every input, optional combine per
+// map task, shuffle/group, reduce, and write the output file. It returns
+// the job's counters and simulated times.
+func (e *Engine) RunJob(j *Job) (*JobStats, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	cl := e.cluster
+	stats := &JobStats{Name: j.Name, MapOnly: j.Reducer == nil}
+
+	// ----- Map phase -----------------------------------------------------
+	var preCombineRecords, preCombineBytes int64
+	var mapOutput []kv // post-combine pairs from all tasks
+	var mapOnlyLines []string
+
+	for _, in := range j.Inputs {
+		lines, err := e.dfs.Read(in.Path)
+		if err != nil {
+			return nil, err
+		}
+		inBytes := linesBytes(lines)
+		stats.MapInputRecords += int64(len(lines))
+		stats.MapInputBytes += inBytes
+
+		// Number of map tasks is determined by the scaled input size.
+		scaled := float64(inBytes) * cl.DataScale
+		tasks := int(math.Ceil(scaled / float64(cl.Cost.SplitSize)))
+		if tasks < 1 {
+			tasks = 1
+		}
+		stats.NumMapTasks += tasks
+
+		// Split actual lines into task chunks so per-task combining matches
+		// Hadoop's per-task partial aggregation.
+		for _, chunk := range splitChunks(lines, tasks) {
+			var taskPairs []kv
+			emit := func(key, value string) {
+				taskPairs = append(taskPairs, kv{key, value})
+			}
+			for _, line := range chunk {
+				if err := in.Mapper.Map(line, emit); err != nil {
+					return nil, fmt.Errorf("map %s: %w", in.Path, err)
+				}
+			}
+			preCombineRecords += int64(len(taskPairs))
+			for _, p := range taskPairs {
+				preCombineBytes += int64(len(p.key) + len(p.value) + 2)
+			}
+			if j.Reducer == nil {
+				for _, p := range taskPairs {
+					mapOnlyLines = append(mapOnlyLines, p.value)
+				}
+				continue
+			}
+			if j.Combiner != nil {
+				combined, err := combineTask(taskPairs, j.Combiner)
+				if err != nil {
+					return nil, fmt.Errorf("combine: %w", err)
+				}
+				taskPairs = combined
+			}
+			mapOutput = append(mapOutput, taskPairs...)
+		}
+	}
+
+	// ----- Map-only jobs write straight to the DFS -----------------------
+	if j.Reducer == nil {
+		e.dfs.Write(j.Output, mapOnlyLines)
+		stats.MapOutputRecords = int64(len(mapOnlyLines))
+		stats.MapOutputBytes = linesBytes(mapOnlyLines)
+		stats.ReduceOutputRecords = stats.MapOutputRecords
+		stats.ReduceOutputBytes = stats.MapOutputBytes
+		e.costMapOnly(j, stats, preCombineRecords, preCombineBytes)
+		return stats, nil
+	}
+
+	stats.MapOutputRecords = int64(len(mapOutput))
+	for _, p := range mapOutput {
+		stats.MapOutputBytes += int64(len(p.key) + len(p.value) + 2)
+	}
+	stats.ShuffleBytes = stats.MapOutputBytes
+	if cl.Compress {
+		stats.ShuffleBytes = int64(float64(stats.ShuffleBytes) * cl.Cost.CompressionRatio)
+	}
+
+	// ----- Shuffle: partition and group ----------------------------------
+	numReduce := j.NumReduceTasks
+	if numReduce <= 0 {
+		numReduce = cl.DefaultReduceTasks()
+	}
+	stats.NumReduceTasks = numReduce
+
+	groups := make(map[string][]string)
+	for _, p := range mapOutput {
+		groups[p.key] = append(groups[p.key], p.value)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	stats.ReduceGroups = int64(len(keys))
+	stats.ReduceInputRecords = int64(len(mapOutput))
+
+	// ----- Reduce ---------------------------------------------------------
+	var workStart int64
+	if wr, ok := j.Reducer.(ReduceWorkReporter); ok {
+		workStart = wr.ReduceWork()
+	}
+	var outLines []string
+	emitLine := func(line string) { outLines = append(outLines, line) }
+	for _, k := range keys {
+		if err := j.Reducer.Reduce(k, groups[k], emitLine); err != nil {
+			return nil, fmt.Errorf("reduce key %q: %w", k, err)
+		}
+	}
+	stats.ReduceWorkRecords = stats.ReduceInputRecords
+	if wr, ok := j.Reducer.(ReduceWorkReporter); ok {
+		if delta := wr.ReduceWork() - workStart; delta > stats.ReduceWorkRecords {
+			stats.ReduceWorkRecords = delta
+		}
+	}
+	e.dfs.Write(j.Output, outLines)
+	stats.ReduceOutputRecords = int64(len(outLines))
+	stats.ReduceOutputBytes = linesBytes(outLines)
+
+	e.costJob(j, stats, preCombineRecords, preCombineBytes)
+	return stats, nil
+}
+
+// combineTask groups one map task's output by key and applies the combiner.
+func combineTask(pairs []kv, c Combiner) ([]kv, error) {
+	byKey := make(map[string][]string)
+	order := make([]string, 0, len(byKey))
+	for _, p := range pairs {
+		if _, ok := byKey[p.key]; !ok {
+			order = append(order, p.key)
+		}
+		byKey[p.key] = append(byKey[p.key], p.value)
+	}
+	var out []kv
+	for _, k := range order {
+		vals, err := c.Combine(k, byKey[k])
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			out = append(out, kv{k, v})
+		}
+	}
+	return out, nil
+}
+
+// splitChunks divides lines into n nearly equal contiguous chunks.
+func splitChunks(lines []string, n int) [][]string {
+	if n <= 1 || len(lines) <= 1 {
+		return [][]string{lines}
+	}
+	if n > len(lines) {
+		n = len(lines)
+	}
+	out := make([][]string, 0, n)
+	per := len(lines) / n
+	rem := len(lines) % n
+	i := 0
+	for c := 0; c < n; c++ {
+		size := per
+		if c < rem {
+			size++
+		}
+		out = append(out, lines[i:i+size])
+		i += size
+	}
+	return out
+}
+
+// partitionOf is the default hash partitioner (exported for tests of
+// grouping invariants).
+func partitionOf(key string, numReduce int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReduce))
+}
+
+// ---------------------------------------------------------------------------
+// Cost model application
+// ---------------------------------------------------------------------------
+
+// costJob fills the simulated phase times of a full map+reduce job from its
+// counters. All byte/record quantities are scaled by the cluster DataScale
+// first. Each phase is costed as the maximum of its disk-, network- and
+// CPU-bound times (a throughput bottleneck model) plus per-wave task
+// scheduling overhead.
+func (e *Engine) costJob(j *Job, s *JobStats, preCombineRecords, preCombineBytes int64) {
+	cl := e.cluster
+	cm := cl.Cost
+	scale := cl.DataScale
+	nodes := cl.effectiveNodes()
+
+	inBytes := float64(s.MapInputBytes) * scale
+	inRecords := float64(s.MapInputRecords) * scale
+	preBytes := float64(preCombineBytes) * scale
+	outBytes := float64(s.MapOutputBytes) * scale
+	spillBytes := outBytes
+	var compressCPU float64
+	if cl.Compress {
+		spillBytes *= cm.CompressionRatio
+		compressCPU = outBytes * cm.CompressCPUPerByte
+	}
+
+	// Map phase. Compression runs inline in the spill path, so its CPU cost
+	// adds to the phase rather than overlapping the disk time.
+	mapDisk := (inBytes + spillBytes) / (nodes * cm.DiskBandwidth)
+	mapCPU := (inRecords*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
+	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
+	s.MapTime = (math.Max(mapDisk, mapCPU)+compressCPU/cl.mapSlots())*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
+
+	// Shuffle.
+	shuffleBytes := float64(s.ShuffleBytes) * scale
+	shuffleNet := shuffleBytes / (nodes * cm.NetworkBandwidth)
+	var decompressCPU float64
+	if cl.Compress {
+		decompressCPU = shuffleBytes * cm.DecompressCPUPerByte / cl.reduceSlots()
+	}
+	s.ShuffleTime = (shuffleNet + decompressCPU) * cl.loadFactor()
+
+	// Reduce phase: read merged input from local disk, run the reduce
+	// function, write output to the DFS (one local replica on disk, the
+	// rest over the network).
+	redInBytes := outBytes // decompressed size
+	redRecords := float64(s.ReduceWorkRecords) * scale
+	redOutBytes := float64(s.ReduceOutputBytes) * scale
+	repl := float64(cm.HDFSReplication - 1)
+	redDisk := (redInBytes + redOutBytes) / (nodes * cm.DiskBandwidth)
+	redNet := redOutBytes * repl / (nodes * cm.NetworkBandwidth)
+	redCPU := redRecords * cm.ReduceCPUPerRecord / cl.reduceSlots()
+	redWaves := math.Ceil(float64(s.NumReduceTasks) / cl.reduceSlots())
+	s.ReduceTime = math.Max(redDisk+redNet, redCPU)*cl.loadFactor()*cl.reworkFactor() + redWaves*cm.TaskOverhead
+
+	s.StartupTime = cm.JobStartup
+}
+
+// costMapOnly fills times for a job without a reduce phase: map output goes
+// straight to the DFS with replication.
+func (e *Engine) costMapOnly(j *Job, s *JobStats, preCombineRecords, preCombineBytes int64) {
+	cl := e.cluster
+	cm := cl.Cost
+	scale := cl.DataScale
+	nodes := cl.effectiveNodes()
+
+	inBytes := float64(s.MapInputBytes) * scale
+	inRecords := float64(s.MapInputRecords) * scale
+	outBytes := float64(s.ReduceOutputBytes) * scale
+	repl := float64(cm.HDFSReplication - 1)
+
+	mapDisk := (inBytes + outBytes) / (nodes * cm.DiskBandwidth)
+	mapNet := outBytes * repl / (nodes * cm.NetworkBandwidth)
+	mapCPU := inRecords * cm.MapCPUPerRecord / cl.mapSlots()
+	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
+	s.MapTime = math.Max(mapDisk+mapNet, mapCPU)*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
+	s.StartupTime = cm.JobStartup
+}

@@ -1,0 +1,123 @@
+// Package mapreduce implements a deterministic single-process MapReduce
+// engine modelled on Hadoop circa 2010 (the substrate of the YSmart paper).
+// Real records flow through user map and reduce functions, and the engine
+// accounts every byte read, written, shuffled and materialized exactly the
+// way Hadoop charges them: map input from the DFS, sorted map output
+// spilled to local disk, shuffle over the network, reduce output written
+// back to the DFS with replication. A cluster cost model converts those
+// counters into simulated wall-clock seconds, which is what the experiment
+// harnesses report.
+//
+// The engine is deliberately sequential and deterministic so results are
+// reproducible; parallelism enters only through the cost model (nodes ×
+// slots).
+package mapreduce
+
+import "fmt"
+
+// Emit receives one output record from a mapper (key/value) or, with an
+// empty key, from a reducer (line).
+type Emit func(key, value string)
+
+// Mapper transforms one input record into zero or more key/value pairs.
+type Mapper interface {
+	Map(line string, emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(line string, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(line string, emit Emit) error { return f(line, emit) }
+
+// Reducer processes all values of one key and emits output lines (the key
+// argument of emit is ignored for reducer output).
+type Reducer interface {
+	Reduce(key string, values []string, emit func(line string)) error
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values []string, emit func(line string)) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values []string, emit func(line string)) error {
+	return f(key, values, emit)
+}
+
+// ReduceWorkReporter is optionally implemented by reducers that process
+// each input value more than once (e.g. a common reducer dispatching values
+// through several merged operators). ReduceWork returns the cumulative
+// number of row-processings; the engine charges reduce CPU on the delta
+// observed across a job instead of the raw input record count.
+type ReduceWorkReporter interface {
+	ReduceWork() int64
+}
+
+// Combiner optionally folds a key's map-side values before the shuffle —
+// Hive's map-phase hash aggregation (paper §I footnote 2) is modelled this
+// way. It must be algebraically compatible with the job's reducer.
+type Combiner interface {
+	Combine(key string, values []string) ([]string, error)
+}
+
+// CombinerFunc adapts a function to the Combiner interface.
+type CombinerFunc func(key string, values []string) ([]string, error)
+
+// Combine implements Combiner.
+func (f CombinerFunc) Combine(key string, values []string) ([]string, error) {
+	return f(key, values)
+}
+
+// Input is one map-side input of a job: a DFS path processed by a mapper.
+// A job with several inputs models Hadoop's MultipleInputs (used by reduce-
+// side joins, where each table has its own tagging mapper).
+type Input struct {
+	Path   string
+	Mapper Mapper
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	// Name labels the job in stats and explain output (e.g. "Job1[AGG1]").
+	Name string
+	// Inputs are the map-side inputs. At least one is required.
+	Inputs []Input
+	// Reducer processes grouped map output. A nil Reducer makes the job
+	// map-only: map output values are written directly to Output.
+	Reducer Reducer
+	// Combiner, when non-nil, folds map output per map task before the
+	// shuffle.
+	Combiner Combiner
+	// Output is the DFS path the job writes.
+	Output string
+	// NumReduceTasks overrides the cluster default when > 0. Sort jobs set
+	// it to 1 for a total order.
+	NumReduceTasks int
+	// DependsOn lists jobs that must complete before this one starts.
+	DependsOn []*Job
+}
+
+// Validate checks the job is runnable.
+func (j *Job) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("job has no name")
+	}
+	if len(j.Inputs) == 0 {
+		return fmt.Errorf("job %s has no inputs", j.Name)
+	}
+	for i, in := range j.Inputs {
+		if in.Path == "" {
+			return fmt.Errorf("job %s input %d has no path", j.Name, i)
+		}
+		if in.Mapper == nil {
+			return fmt.Errorf("job %s input %d has no mapper", j.Name, i)
+		}
+	}
+	if j.Output == "" {
+		return fmt.Errorf("job %s has no output path", j.Name)
+	}
+	if j.NumReduceTasks < 0 {
+		return fmt.Errorf("job %s has negative reduce tasks", j.Name)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JobStats records the measured counters and simulated times of one job.
+// Counters are raw (unscaled); times include the cluster's DataScale.
+type JobStats struct {
+	Name string
+
+	// Raw counters measured during execution.
+	MapInputRecords    int64
+	MapInputBytes      int64
+	MapOutputRecords   int64 // after the combiner, if any
+	MapOutputBytes     int64
+	ShuffleBytes       int64 // map output bytes after optional compression
+	ReduceGroups       int64
+	ReduceInputRecords int64
+	// ReduceWorkRecords counts row-processings inside the reducer; a common
+	// reducer running several merged operators reports more work than its
+	// input record count (see ReduceWorkReporter).
+	ReduceWorkRecords   int64
+	ReduceOutputRecords int64
+	ReduceOutputBytes   int64
+	NumMapTasks         int
+	NumReduceTasks      int
+	MapOnly             bool
+
+	// Simulated wall-clock seconds.
+	StartupTime float64
+	MapTime     float64
+	ShuffleTime float64
+	ReduceTime  float64
+	// GapBefore is contention-induced scheduling delay charged before the
+	// job started (zero on isolated clusters).
+	GapBefore float64
+}
+
+// TotalTime is the job's end-to-end simulated duration including the
+// scheduling gap before it.
+func (s *JobStats) TotalTime() float64 {
+	return s.GapBefore + s.StartupTime + s.MapTime + s.ShuffleTime + s.ReduceTime
+}
+
+// ReducePhaseTime reports shuffle+reduce together, the way Hadoop's UI (and
+// the paper's breakdown figures) attribute time to the "reduce phase".
+func (s *JobStats) ReducePhaseTime() float64 { return s.ShuffleTime + s.ReduceTime }
+
+func (s *JobStats) String() string {
+	return fmt.Sprintf("%s: map %.0fs (%d tasks, in %s, out %s) reduce %.0fs (%d tasks, %d groups) total %.0fs",
+		s.Name, s.MapTime, s.NumMapTasks, fmtBytes(s.MapInputBytes), fmtBytes(s.MapOutputBytes),
+		s.ReducePhaseTime(), s.NumReduceTasks, s.ReduceGroups, s.TotalTime())
+}
+
+// ChainStats aggregates a job chain (one query execution).
+type ChainStats struct {
+	Jobs []*JobStats
+}
+
+// TotalTime is the simulated end-to-end time of the chain (jobs run
+// sequentially in dependency order, as Hive did).
+func (c *ChainStats) TotalTime() float64 {
+	var t float64
+	for _, j := range c.Jobs {
+		t += j.TotalTime()
+	}
+	return t
+}
+
+// NumJobs returns the number of executed jobs.
+func (c *ChainStats) NumJobs() int { return len(c.Jobs) }
+
+// TotalMapInputBytes sums raw map input bytes over the chain — the "table
+// scan volume" the paper's analysis tracks.
+func (c *ChainStats) TotalMapInputBytes() int64 {
+	var n int64
+	for _, j := range c.Jobs {
+		n += j.MapInputBytes
+	}
+	return n
+}
+
+// TotalShuffleBytes sums shuffle traffic over the chain.
+func (c *ChainStats) TotalShuffleBytes() int64 {
+	var n int64
+	for _, j := range c.Jobs {
+		n += j.ShuffleBytes
+	}
+	return n
+}
+
+func (c *ChainStats) String() string {
+	var sb strings.Builder
+	for _, j := range c.Jobs {
+		sb.WriteString("  " + j.String() + "\n")
+	}
+	fmt.Fprintf(&sb, "  total: %d jobs, %.0fs", c.NumJobs(), c.TotalTime())
+	return sb.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

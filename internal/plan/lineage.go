@@ -1,0 +1,132 @@
+// Package plan builds typed logical query plans from parsed SQL and exposes
+// the properties YSmart's correlation analysis needs: per-node schemas,
+// column lineage back to physical base tables, and partition keys (paper
+// §IV.A). Plan nodes are consumed by the MapReduce translator
+// (internal/translator) and by the single-node DBMS executor
+// (internal/dbms).
+package plan
+
+import (
+	"sort"
+	"strings"
+)
+
+// ColumnID identifies a column of a physical base table. It is the unit of
+// column lineage: two plan columns with the same ColumnID originate from
+// the same physical data, even when reached through different aliases
+// (e.g. the two instances of a self-joined table).
+type ColumnID struct {
+	Table  string // physical table name, lower-cased
+	Column string // column name, lower-cased
+}
+
+// IsZero reports whether the ID is the "no lineage" marker used for
+// computed columns.
+func (c ColumnID) IsZero() bool { return c.Table == "" && c.Column == "" }
+
+func (c ColumnID) String() string {
+	if c.IsZero() {
+		return "<computed>"
+	}
+	return c.Table + "." + c.Column
+}
+
+// MakeColumnID normalizes names into a ColumnID.
+func MakeColumnID(table, column string) ColumnID {
+	return ColumnID{Table: strings.ToLower(table), Column: strings.ToLower(column)}
+}
+
+// KeyComponent is one position of a partition key: the equivalence class of
+// base columns that carry the same value at that position. Equi-join
+// predicates merge the two sides into one class (paper §IV.B footnote: the
+// columns on the two sides of `l_partkey = p_partkey` are aliases of the
+// same partition key). An empty component means the key position is a
+// computed value with no lineage.
+type KeyComponent map[ColumnID]bool
+
+// NewKeyComponent builds a component from ids, skipping zero IDs.
+func NewKeyComponent(ids ...ColumnID) KeyComponent {
+	c := make(KeyComponent)
+	for _, id := range ids {
+		if !id.IsZero() {
+			c[id] = true
+		}
+	}
+	return c
+}
+
+// Intersects reports whether two components share a base column.
+func (c KeyComponent) Intersects(o KeyComponent) bool {
+	small, large := c, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for id := range small {
+		if large[id] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c KeyComponent) String() string {
+	if len(c) == 0 {
+		return "{}"
+	}
+	ids := make([]string, 0, len(c))
+	for id := range c {
+		ids = append(ids, id.String())
+	}
+	sort.Strings(ids)
+	return "{" + strings.Join(ids, "=") + "}"
+}
+
+// PartKey is a partition key: an unordered multiset of key components
+// (paper §IV.A "Partition Key"). A join's key has one component per
+// equi-join column pair; an aggregation's key has one per grouping column
+// in the chosen candidate.
+type PartKey []KeyComponent
+
+// Equal reports whether two partition keys partition their shared inputs
+// identically: they have the same number of components and there is a
+// perfect matching between components such that matched components share a
+// base column. Components are few (1-3 in practice), so a backtracking
+// matching is used.
+func (k PartKey) Equal(o PartKey) bool {
+	if len(k) != len(o) {
+		return false
+	}
+	if len(k) == 0 {
+		return true
+	}
+	used := make([]bool, len(o))
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(k) {
+			return true
+		}
+		for j := range o {
+			if used[j] || !k[i].Intersects(o[j]) {
+				continue
+			}
+			used[j] = true
+			if match(i + 1) {
+				return true
+			}
+			used[j] = false
+		}
+		return false
+	}
+	return match(0)
+}
+
+func (k PartKey) String() string {
+	if len(k) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(k))
+	for i, c := range k {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

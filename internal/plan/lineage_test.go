@@ -1,0 +1,246 @@
+package plan
+
+import (
+	"testing"
+
+	"ysmart/internal/sqlparser"
+)
+
+func cid(t, c string) ColumnID { return MakeColumnID(t, c) }
+
+func TestColumnID(t *testing.T) {
+	if !(ColumnID{}).IsZero() {
+		t.Error("zero ColumnID should be IsZero")
+	}
+	if cid("T", "C") != (ColumnID{Table: "t", Column: "c"}) {
+		t.Error("MakeColumnID should lower-case")
+	}
+	if cid("t", "c").String() != "t.c" {
+		t.Errorf("String = %q", cid("t", "c").String())
+	}
+	if (ColumnID{}).String() != "<computed>" {
+		t.Errorf("zero String = %q", (ColumnID{}).String())
+	}
+}
+
+func TestKeyComponentIntersects(t *testing.T) {
+	a := NewKeyComponent(cid("lineitem", "l_partkey"), cid("part", "p_partkey"))
+	b := NewKeyComponent(cid("lineitem", "l_partkey"))
+	c := NewKeyComponent(cid("orders", "o_orderkey"))
+	empty := NewKeyComponent()
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if a.Intersects(empty) || empty.Intersects(empty) {
+		t.Error("empty component intersects nothing")
+	}
+	// Zero IDs are dropped.
+	if len(NewKeyComponent(ColumnID{}, cid("t", "c"))) != 1 {
+		t.Error("zero ColumnID should be skipped")
+	}
+}
+
+func TestPartKeyEqual(t *testing.T) {
+	l := cid("lineitem", "l_partkey")
+	p := cid("part", "p_partkey")
+	o := cid("orders", "o_orderkey")
+	u := cid("clicks", "uid")
+	ts := cid("clicks", "ts")
+
+	tests := []struct {
+		name string
+		a, b PartKey
+		want bool
+	}{
+		{
+			"equi-join alias matches single column",
+			PartKey{NewKeyComponent(l, p)},
+			PartKey{NewKeyComponent(l)},
+			true,
+		},
+		{
+			"matches through the other alias too",
+			PartKey{NewKeyComponent(l, p)},
+			PartKey{NewKeyComponent(p)},
+			true,
+		},
+		{
+			"different columns do not match",
+			PartKey{NewKeyComponent(l)},
+			PartKey{NewKeyComponent(o)},
+			false,
+		},
+		{
+			"different lengths do not match",
+			PartKey{NewKeyComponent(u)},
+			PartKey{NewKeyComponent(u), NewKeyComponent(ts)},
+			false,
+		},
+		{
+			"two components match in any order",
+			PartKey{NewKeyComponent(u), NewKeyComponent(ts)},
+			PartKey{NewKeyComponent(ts), NewKeyComponent(u)},
+			true,
+		},
+		{
+			"matching is a bijection, not a multimap",
+			PartKey{NewKeyComponent(u), NewKeyComponent(u)},
+			PartKey{NewKeyComponent(u), NewKeyComponent(ts)},
+			false,
+		},
+		{
+			"empty components never match",
+			PartKey{NewKeyComponent()},
+			PartKey{NewKeyComponent()},
+			false,
+		},
+		{
+			"empty keys are equal",
+			PartKey{},
+			PartKey{},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("Equal is not symmetric for %v, %v", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestAggregateCandidatePKs(t *testing.T) {
+	n := mustBuild(t, "SELECT uid, ts, count(*) FROM clicks GROUP BY uid, ts")
+	agg, ok := findNode[*Aggregate](n)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	cands := agg.CandidatePKs()
+	// Non-empty subsets of 2 columns: {0}, {1}, {0,1} — singletons first.
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v, want 3", cands)
+	}
+	if len(cands[0]) != 1 || len(cands[1]) != 1 || len(cands[2]) != 2 {
+		t.Errorf("candidate sizes wrong: %v", cands)
+	}
+
+	// PartKeyFor singleton uid matches a join on clicks.uid.
+	uidPK := agg.PartKeyFor([]int{0})
+	joinPK := PartKey{NewKeyComponent(cid("clicks", "uid"))}
+	if !uidPK.Equal(joinPK) {
+		t.Errorf("PartKeyFor(uid) = %v, want equal to %v", uidPK, joinPK)
+	}
+
+	// Default choice is all grouping columns.
+	if got := agg.PartKey(); len(got) != 2 {
+		t.Errorf("default PK = %v, want 2 components", got)
+	}
+}
+
+// The Q17 scenario from the paper (§IV.B): AGG1 on lineitem grouped by
+// l_partkey, JOIN1 = lineitem ⋈ part on l_partkey = p_partkey, and JOIN2
+// joining the two on l_partkey. All three partition keys must be equal.
+func TestQ17PartitionKeysAllEqual(t *testing.T) {
+	n := mustBuild(t, `
+		SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+		FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+		      FROM lineitem GROUP BY l_partkey) AS inner_t,
+		     (SELECT l_partkey, l_quantity, l_extendedprice
+		      FROM lineitem, part
+		      WHERE p_partkey = l_partkey) AS outer_t
+		WHERE outer_t.l_partkey = inner_t.l_partkey
+		  AND outer_t.l_quantity < inner_t.t1`)
+
+	joins := collectNodes[*Join](n)
+	aggs := collectNodes[*Aggregate](n)
+	if len(joins) != 2 {
+		t.Fatalf("joins = %d, want 2 (JOIN2 and JOIN1)", len(joins))
+	}
+	// Pre-order: joins[0] is JOIN2 (top), joins[1] is JOIN1 (lineitem⋈part).
+	join2, join1 := joins[0], joins[1]
+
+	var agg1 *Aggregate
+	for _, a := range aggs {
+		if len(a.GroupBy) == 1 {
+			agg1 = a
+		}
+	}
+	if agg1 == nil {
+		t.Fatal("AGG1 (group by l_partkey) not found")
+	}
+
+	pkJoin1 := join1.PartKey()
+	pkJoin2 := join2.PartKey()
+	pkAgg1 := agg1.PartKeyFor([]int{0})
+
+	if !pkJoin1.Equal(pkAgg1) {
+		t.Errorf("JOIN1 pk %v != AGG1 pk %v (transit correlation prerequisite)", pkJoin1, pkAgg1)
+	}
+	if !pkJoin2.Equal(pkJoin1) {
+		t.Errorf("JOIN2 pk %v != JOIN1 pk %v (job flow correlation prerequisite)", pkJoin2, pkJoin1)
+	}
+	if !pkJoin2.Equal(pkAgg1) {
+		t.Errorf("JOIN2 pk %v != AGG1 pk %v (job flow correlation prerequisite)", pkJoin2, pkAgg1)
+	}
+}
+
+// The Q-CSA scenario (§VII.A.2): AGG1 groups by (uid, ts1); its uid
+// candidate must equal JOIN1's PK so YSmart can pick it.
+func TestQCSACandidateMatchesJoin(t *testing.T) {
+	n := mustBuild(t, `
+		SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2
+		FROM clicks AS c1, clicks AS c2
+		WHERE c1.uid = c2.uid AND c1.ts < c2.ts AND c1.cid = 1 AND c2.cid = 2
+		GROUP BY c1.uid, c1.ts`)
+	j, ok := findNode[*Join](n)
+	if !ok {
+		t.Fatal("no join")
+	}
+	agg, ok := findNode[*Aggregate](n)
+	if !ok {
+		t.Fatal("no aggregate")
+	}
+	joinPK := j.PartKey()
+	uidCand := agg.PartKeyFor([]int{0}) // c1.uid
+	tsCand := agg.PartKeyFor([]int{1})  // c1.ts
+	if !uidCand.Equal(joinPK) {
+		t.Errorf("uid candidate %v should equal join pk %v", uidCand, joinPK)
+	}
+	if tsCand.Equal(joinPK) {
+		t.Errorf("ts candidate %v should NOT equal join pk %v", tsCand, joinPK)
+	}
+}
+
+func TestRewriteExpr(t *testing.T) {
+	stmt, err := sqlparser.Parse("SELECT count(*) - 2, uid + 1 FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := map[string]sqlparser.Expr{
+		"COUNT(*)": &sqlparser.ColumnRef{Name: "_a0"},
+		"uid":      &sqlparser.ColumnRef{Qualifier: "g", Name: "uid"},
+	}
+	got0 := RewriteExpr(stmt.Select[0].Expr, subs).SQL()
+	if got0 != "(_a0 - 2)" {
+		t.Errorf("rewrite 0 = %s, want (_a0 - 2)", got0)
+	}
+	got1 := RewriteExpr(stmt.Select[1].Expr, subs).SQL()
+	if got1 != "(g.uid + 1)" {
+		t.Errorf("rewrite 1 = %s, want (g.uid + 1)", got1)
+	}
+	// Original untouched.
+	if stmt.Select[0].Expr.SQL() != "(COUNT(*) - 2)" {
+		t.Error("RewriteExpr mutated its input")
+	}
+	if RewriteExpr(nil, subs) != nil {
+		t.Error("RewriteExpr(nil) should be nil")
+	}
+}

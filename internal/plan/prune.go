@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"ysmart/internal/exec"
+	"ysmart/internal/sqlparser"
+)
+
+// RequiredColumns computes, for every node of the tree, which of its output
+// columns its ancestors actually consume (the root requires all of its
+// columns). The translator uses the per-Scan sets to build the minimal
+// union projection of a shared table scan — the "all the required data for
+// all the merged jobs" common value of paper §VI.A.
+func RequiredColumns(root Node) (map[Node][]int, error) {
+	req := make(map[Node]map[int]bool)
+	all := make([]int, root.Schema().Len())
+	for i := range all {
+		all[i] = i
+	}
+	if err := demand(root, all, req); err != nil {
+		return nil, err
+	}
+	out := make(map[Node][]int, len(req))
+	for n, set := range req {
+		cols := make([]int, 0, len(set))
+		for i := range set {
+			cols = append(cols, i)
+		}
+		sort.Ints(cols)
+		out[n] = cols
+	}
+	return out, nil
+}
+
+func demand(n Node, cols []int, req map[Node]map[int]bool) error {
+	set := req[n]
+	if set == nil {
+		set = make(map[int]bool)
+		req[n] = set
+	}
+	for _, c := range cols {
+		if c < 0 || c >= n.Schema().Len() {
+			return fmt.Errorf("required column %d out of range for %s", c, n.Describe())
+		}
+		set[c] = true
+	}
+
+	switch x := n.(type) {
+	case *Scan:
+		return nil
+
+	case *Filter:
+		childCols, err := exprColumns(x.Cond, x.Child.Schema())
+		if err != nil {
+			return fmt.Errorf("filter: %w", err)
+		}
+		return demand(x.Child, append(childCols, cols...), req)
+
+	case *Rebind:
+		return demand(x.Child, cols, req)
+
+	case *Limit:
+		return demand(x.Child, cols, req)
+
+	case *Sort:
+		var keyCols []int
+		for _, k := range x.Keys {
+			kc, err := exprColumns(k.Expr, x.Child.Schema())
+			if err != nil {
+				return fmt.Errorf("sort: %w", err)
+			}
+			keyCols = append(keyCols, kc...)
+		}
+		return demand(x.Child, append(keyCols, cols...), req)
+
+	case *Project:
+		var childCols []int
+		for _, c := range cols {
+			ec, err := exprColumns(x.Exprs[c], x.Child.Schema())
+			if err != nil {
+				return fmt.Errorf("project: %w", err)
+			}
+			childCols = append(childCols, ec...)
+		}
+		return demand(x.Child, childCols, req)
+
+	case *Join:
+		leftW := x.Left.Schema().Len()
+		var leftCols, rightCols []int
+		for _, c := range cols {
+			if c < leftW {
+				leftCols = append(leftCols, c)
+			} else {
+				rightCols = append(rightCols, c-leftW)
+			}
+		}
+		leftCols = append(leftCols, x.LeftKeys...)
+		rightCols = append(rightCols, x.RightKeys...)
+		if x.Residual != nil {
+			rc, err := exprColumns(x.Residual, x.Schema())
+			if err != nil {
+				return fmt.Errorf("join residual: %w", err)
+			}
+			for _, c := range rc {
+				if c < leftW {
+					leftCols = append(leftCols, c)
+				} else {
+					rightCols = append(rightCols, c-leftW)
+				}
+			}
+		}
+		if err := demand(x.Left, leftCols, req); err != nil {
+			return err
+		}
+		return demand(x.Right, rightCols, req)
+
+	case *Aggregate:
+		// Grouping always needs its columns; aggregates are computed as a
+		// block, so their arguments are needed whenever the node runs.
+		var childCols []int
+		for _, g := range x.GroupBy {
+			gc, err := exprColumns(g, x.Child.Schema())
+			if err != nil {
+				return fmt.Errorf("aggregate group: %w", err)
+			}
+			childCols = append(childCols, gc...)
+		}
+		for _, spec := range x.Aggs {
+			if spec.Arg == nil {
+				continue
+			}
+			ac, err := exprColumns(spec.Arg, x.Child.Schema())
+			if err != nil {
+				return fmt.Errorf("aggregate arg: %w", err)
+			}
+			childCols = append(childCols, ac...)
+		}
+		return demand(x.Child, childCols, req)
+
+	default:
+		return fmt.Errorf("required columns: unsupported node %T", n)
+	}
+}
+
+// exprColumns resolves every column reference in e to an index of s.
+func exprColumns(e sqlparser.Expr, s *exec.Schema) ([]int, error) {
+	var out []int
+	for _, ref := range sqlparser.ColumnRefs(e) {
+		idx, err := s.Resolve(ref.Qualifier, ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func requiredFor(t *testing.T, sql string) (Node, map[Node][]int) {
+	t.Helper()
+	root := mustBuild(t, sql)
+	req, err := RequiredColumns(root)
+	if err != nil {
+		t.Fatalf("RequiredColumns: %v", err)
+	}
+	return root, req
+}
+
+func scanRequired(t *testing.T, req map[Node][]int, root Node, binding string) []int {
+	t.Helper()
+	var found []int
+	ok := false
+	Walk(root, func(n Node) {
+		if s, is := n.(*Scan); is && s.Binding == binding {
+			found, ok = req[s], true
+		}
+	})
+	if !ok {
+		t.Fatalf("scan %s not found or not in required map", binding)
+	}
+	return found
+}
+
+func TestRequiredColumnsSimpleProjection(t *testing.T) {
+	// clicks(uid, page, cid, ts): query touches uid (select), cid (filter).
+	root, req := requiredFor(t, "SELECT uid FROM clicks WHERE cid = 5")
+	got := scanRequired(t, req, root, "clicks")
+	if !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("required = %v, want [0 2] (uid, cid)", got)
+	}
+}
+
+func TestRequiredColumnsJoinKeysAndResidual(t *testing.T) {
+	root, req := requiredFor(t, `
+		SELECT c1.page FROM clicks c1, clicks c2
+		WHERE c1.uid = c2.uid AND c1.ts < c2.ts`)
+	// c1 needs page (0? no: page=1), uid (key), ts (residual filter).
+	c1 := scanRequired(t, req, root, "c1")
+	if !reflect.DeepEqual(c1, []int{0, 1, 3}) {
+		t.Errorf("c1 required = %v, want [0 1 3] (uid, page, ts)", c1)
+	}
+	// c2 needs only uid and ts.
+	c2 := scanRequired(t, req, root, "c2")
+	if !reflect.DeepEqual(c2, []int{0, 3}) {
+		t.Errorf("c2 required = %v, want [0 3] (uid, ts)", c2)
+	}
+}
+
+func TestRequiredColumnsAggregate(t *testing.T) {
+	// Group col + agg arg are needed; other columns are not.
+	root, req := requiredFor(t, "SELECT cid, min(ts) FROM clicks GROUP BY cid")
+	got := scanRequired(t, req, root, "clicks")
+	if !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("required = %v, want [2 3] (cid, ts)", got)
+	}
+}
+
+func TestRequiredColumnsQ17Lineitem(t *testing.T) {
+	// The outer lineitem instance needs partkey, quantity, extendedprice;
+	// the inner (aggregated) instance needs partkey, quantity only.
+	root, req := requiredFor(t, `
+		SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+		FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+		      FROM lineitem GROUP BY l_partkey) AS inner_t,
+		     (SELECT l_partkey, l_quantity, l_extendedprice
+		      FROM lineitem, part
+		      WHERE p_partkey = l_partkey) AS outer_t
+		WHERE outer_t.l_partkey = inner_t.l_partkey
+		  AND outer_t.l_quantity < inner_t.t1`)
+	var scans []*Scan
+	Walk(root, func(n Node) {
+		if s, ok := n.(*Scan); ok && s.Table == "lineitem" {
+			scans = append(scans, s)
+		}
+	})
+	if len(scans) != 2 {
+		t.Fatalf("lineitem scans = %d, want 2", len(scans))
+	}
+	// lineitem schema: l_orderkey=0, l_partkey=1, l_suppkey=2, l_quantity=3,
+	// l_extendedprice=4, ...
+	sets := [][]int{req[scans[0]], req[scans[1]]}
+	var inner, outer []int
+	for _, s := range sets {
+		if len(s) == 2 {
+			inner = s
+		} else {
+			outer = s
+		}
+	}
+	if !reflect.DeepEqual(inner, []int{1, 3}) {
+		t.Errorf("inner lineitem required = %v, want [1 3]", inner)
+	}
+	if !reflect.DeepEqual(outer, []int{1, 3, 4}) {
+		t.Errorf("outer lineitem required = %v, want [1 3 4]", outer)
+	}
+}
+
+func TestRequiredColumnsRootRequiresAll(t *testing.T) {
+	root, req := requiredFor(t, "SELECT uid, ts FROM clicks")
+	if !reflect.DeepEqual(req[root], []int{0, 1}) {
+		t.Errorf("root required = %v, want [0 1]", req[root])
+	}
+}
+
+func TestRequiredColumnsSortKeys(t *testing.T) {
+	root, req := requiredFor(t, "SELECT uid FROM clicks ORDER BY uid DESC")
+	got := scanRequired(t, req, root, "clicks")
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("required = %v, want [0]", got)
+	}
+}

@@ -1,0 +1,64 @@
+package plan
+
+import "ysmart/internal/sqlparser"
+
+// RewriteExpr returns a copy of e in which every subtree whose rendered SQL
+// equals a key of subs is replaced by the mapped expression. Replacement is
+// pre-order: an enclosing match wins over matches inside it (so an
+// aggregate call is replaced before its argument could be). The input
+// expression is never mutated.
+func RewriteExpr(e sqlparser.Expr, subs map[string]sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := subs[e.SQL()]; ok {
+		return r
+	}
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef, *sqlparser.Literal:
+		return e
+	case *sqlparser.BinaryExpr:
+		return &sqlparser.BinaryExpr{
+			Op: x.Op,
+			L:  RewriteExpr(x.L, subs),
+			R:  RewriteExpr(x.R, subs),
+		}
+	case *sqlparser.UnaryExpr:
+		return &sqlparser.UnaryExpr{Op: x.Op, X: RewriteExpr(x.X, subs)}
+	case *sqlparser.FuncCall:
+		args := make([]sqlparser.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RewriteExpr(a, subs)
+		}
+		return &sqlparser.FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star, Args: args}
+	case *sqlparser.IsNullExpr:
+		return &sqlparser.IsNullExpr{X: RewriteExpr(x.X, subs), Not: x.Not}
+	case *sqlparser.InSubqueryExpr:
+		// The subquery body belongs to its own scope and is never rewritten.
+		return &sqlparser.InSubqueryExpr{X: RewriteExpr(x.X, subs), Select: x.Select}
+	case *sqlparser.BetweenExpr:
+		return &sqlparser.BetweenExpr{
+			X:   RewriteExpr(x.X, subs),
+			Lo:  RewriteExpr(x.Lo, subs),
+			Hi:  RewriteExpr(x.Hi, subs),
+			Not: x.Not,
+		}
+	case *sqlparser.InListExpr:
+		items := make([]sqlparser.Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = RewriteExpr(it, subs)
+		}
+		return &sqlparser.InListExpr{X: RewriteExpr(x.X, subs), Items: items, Not: x.Not}
+	case *sqlparser.CaseExpr:
+		whens := make([]sqlparser.CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = sqlparser.CaseWhen{
+				Cond: RewriteExpr(w.Cond, subs),
+				Then: RewriteExpr(w.Then, subs),
+			}
+		}
+		return &sqlparser.CaseExpr{Whens: whens, Else: RewriteExpr(x.Else, subs)}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,109 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/sqlparser"
+)
+
+// Plan-level structure of the IN-subquery semi-join rewrite (end-to-end
+// behaviour is covered in internal/translator).
+
+func TestInSubqueryBecomesSemiJoin(t *testing.T) {
+	n := mustBuild(t, `
+		SELECT uid, ts FROM clicks
+		WHERE uid IN (SELECT uid FROM clicks WHERE cid = 2)`)
+	j, ok := findNode[*Join](n)
+	if !ok {
+		t.Fatal("no join in plan")
+	}
+	// The subquery side is deduplicated (raw uid column is not distinct).
+	if _, ok := j.Right.(*Aggregate); !ok {
+		t.Errorf("right side is %T, want dedup *Aggregate", j.Right)
+	}
+	// Its column is hidden from unqualified resolution...
+	if !j.Schema().Cols[j.Left.Schema().Len()].Hidden {
+		t.Error("subquery column should be hidden")
+	}
+	// ...so the outer uid still resolves unambiguously.
+	if _, err := j.Schema().Resolve("", "uid"); err != nil {
+		t.Errorf("outer uid became ambiguous: %v", err)
+	}
+}
+
+func TestInSubquerySkipsDedupWhenDistinct(t *testing.T) {
+	n := mustBuild(t, `
+		SELECT uid FROM clicks
+		WHERE uid IN (SELECT uid FROM clicks GROUP BY uid HAVING count(*) > 2)`)
+	j, ok := findNode[*Join](n)
+	if !ok {
+		t.Fatal("no join")
+	}
+	// The grouped subquery is already distinct on uid: the right side is
+	// the rebound subquery, not an extra aggregate.
+	if _, ok := j.Right.(*Rebind); !ok {
+		t.Errorf("right side is %T, want *Rebind (no dedup)", j.Right)
+	}
+}
+
+func TestInSubqueryErrorsAtPlanLevel(t *testing.T) {
+	tests := []struct {
+		name, sql, want string
+	}{
+		{"expression lhs", "SELECT uid FROM clicks WHERE uid * 2 IN (SELECT uid FROM clicks)", "plain column"},
+		{"two columns", "SELECT uid FROM clicks WHERE uid IN (SELECT uid, ts FROM clicks)", "exactly one column"},
+		{"nested", "SELECT uid FROM clicks WHERE NOT (uid IN (SELECT uid FROM clicks))", "top-level WHERE conjunct"},
+		{"unknown lhs", "SELECT uid FROM clicks WHERE zz IN (SELECT uid FROM clicks)", "unknown column"},
+		{"bad subquery", "SELECT uid FROM clicks WHERE uid IN (SELECT zz FROM clicks)", "unknown column"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			stmt, err := sqlparser.Parse(tt.sql)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err = Build(stmt, testCatalog())
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistinctOnColBranches(t *testing.T) {
+	// Sort above the distinct aggregate keeps distinctness; computed
+	// projections lose it.
+	distinct := mustBuild(t, "SELECT uid FROM clicks GROUP BY uid ORDER BY uid")
+	if !distinctOnCol(distinct, 0) {
+		t.Error("sorted grouped column should stay distinct")
+	}
+	computed := mustBuild(t, "SELECT uid + 1 AS u2 FROM clicks GROUP BY uid")
+	if distinctOnCol(computed, 0) {
+		t.Error("computed projection must not claim distinctness")
+	}
+	raw := mustBuild(t, "SELECT uid FROM clicks")
+	if distinctOnCol(raw, 0) {
+		t.Error("raw scan column is not distinct")
+	}
+	twoGroups := mustBuild(t, "SELECT uid, cid FROM clicks GROUP BY uid, cid")
+	if distinctOnCol(twoGroups, 0) {
+		t.Error("one column of a two-column group key is not distinct")
+	}
+}
+
+func TestStarExcludesHiddenSemiJoinColumn(t *testing.T) {
+	n := mustBuild(t, `SELECT * FROM clicks WHERE uid IN (SELECT uid FROM clicks WHERE cid = 2)`)
+	// Exactly the four clicks columns, no _in0 leak.
+	if n.Schema().Len() != 4 {
+		t.Fatalf("star expanded to %s, want the 4 clicks columns", n.Schema())
+	}
+	for _, c := range n.Schema().Cols {
+		if strings.Contains(c.Name, "_in") {
+			t.Errorf("internal column leaked: %s", c.QualifiedName())
+		}
+	}
+}

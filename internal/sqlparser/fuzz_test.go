@@ -1,0 +1,43 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser is total: any input either parses or returns
+// an error — it never panics — and anything that parses round-trips through
+// SQL() to an equivalent statement.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT a, count(*) FROM t WHERE x = 1 GROUP BY a HAVING count(*) > 2",
+		"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x WHERE b.y IS NULL",
+		"SELECT avg(v) FROM (SELECT v FROM t WHERE v BETWEEN 1 AND 2) AS s",
+		"SELECT x FROM t WHERE x IN (SELECT y FROM u) ORDER BY x DESC LIMIT 3",
+		"SELECT CASE WHEN a THEN 'x' ELSE 'y' END FROM t",
+		"select '' from t where a <> -1.5e2",
+		"SELECT a FROM t -- comment\n/* block */",
+		"SELECT 'it''s' FROM t;",
+		"\x00\xff SELECT",
+		strings.Repeat("(", 50) + "a" + strings.Repeat(")", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejecting is always acceptable
+		}
+		// Accepted statements must render and re-parse to the same shape.
+		rendered := stmt.SQL()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL does not re-parse: %q -> %q: %v", sql, rendered, err)
+		}
+		if again.SQL() != rendered {
+			t.Fatalf("round trip unstable:\n first: %s\nsecond: %s", rendered, again.SQL())
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExprRoundTripProperty generates random expression trees, renders them
+// with SQL(), parses the rendering, and checks the re-rendered SQL is
+// identical — the parser and printer are inverses on the printer's image.
+func TestExprRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		e := randomExpr(rng, 4)
+		sql := e.SQL()
+		stmt, err := Parse("SELECT " + sql + " FROM t")
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, sql, err)
+		}
+		again := stmt.Select[0].Expr.SQL()
+		if again != sql {
+			t.Fatalf("trial %d: round trip changed expression:\n  first: %s\n second: %s",
+				trial, sql, again)
+		}
+	}
+}
+
+// TestStatementRoundTripProperty does the same for whole statements.
+func TestStatementRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		stmt := randomStatement(rng)
+		sql := stmt.SQL()
+		parsed, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, sql, err)
+		}
+		if parsed.SQL() != sql {
+			t.Fatalf("trial %d: round trip changed statement:\n  first: %s\n second: %s",
+				trial, sql, parsed.SQL())
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		return randomLeaf(rng)
+	}
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return randomLeaf(rng)
+	case 3:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv, OpMod}
+		return &BinaryExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randomExpr(rng, depth-1),
+			R:  randomExpr(rng, depth-1),
+		}
+	case 4:
+		ops := []BinaryOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		return &BinaryExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randomExpr(rng, depth-1),
+			R:  randomExpr(rng, depth-1),
+		}
+	case 5:
+		ops := []BinaryOp{OpAnd, OpOr}
+		return &BinaryExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randomExpr(rng, depth-1),
+			R:  randomExpr(rng, depth-1),
+		}
+	case 6:
+		if rng.Intn(2) == 0 {
+			return &UnaryExpr{Op: OpNot, X: randomExpr(rng, depth-1)}
+		}
+		// Negation of a non-literal (literals fold their sign).
+		return &UnaryExpr{Op: OpNeg, X: &ColumnRef{Name: "x"}}
+	case 7:
+		switch rng.Intn(3) {
+		case 0:
+			return &IsNullExpr{X: randomExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+		case 1:
+			return &BetweenExpr{
+				X:   randomExpr(rng, depth-1),
+				Lo:  randomLeaf(rng),
+				Hi:  randomLeaf(rng),
+				Not: rng.Intn(2) == 0,
+			}
+		default:
+			n := 1 + rng.Intn(3)
+			items := make([]Expr, n)
+			for i := range items {
+				items[i] = randomLeaf(rng)
+			}
+			return &InListExpr{X: randomExpr(rng, depth-1), Items: items, Not: rng.Intn(2) == 0}
+		}
+	case 8:
+		names := []string{"COUNT", "SUM", "AVG", "MIN", "MAX"}
+		name := names[rng.Intn(len(names))]
+		if name == "COUNT" && rng.Intn(2) == 0 {
+			return &FuncCall{Name: "COUNT", Star: true}
+		}
+		return &FuncCall{
+			Name:     name,
+			Distinct: name == "COUNT" && rng.Intn(2) == 0,
+			Args:     []Expr{randomExpr(rng, depth-1)},
+		}
+	default:
+		n := 1 + rng.Intn(2)
+		whens := make([]CaseWhen, n)
+		for i := range whens {
+			whens[i] = CaseWhen{
+				Cond: randomExpr(rng, depth-1),
+				Then: randomLeaf(rng),
+			}
+		}
+		c := &CaseExpr{Whens: whens}
+		if rng.Intn(2) == 0 {
+			c.Else = randomLeaf(rng)
+		}
+		return c
+	}
+}
+
+func randomLeaf(rng *rand.Rand) Expr {
+	switch rng.Intn(6) {
+	case 0:
+		return &ColumnRef{Name: "col" + string(rune('a'+rng.Intn(4)))}
+	case 1:
+		return &ColumnRef{Qualifier: "t" + string(rune('0'+rng.Intn(3))), Name: "c"}
+	case 2:
+		return &Literal{Kind: LitInt, Int: int64(rng.Intn(2001) - 1000)}
+	case 3:
+		return &Literal{Kind: LitFloat, Float: float64(rng.Intn(1000)) / 8}
+	case 4:
+		strs := []string{"x", "it's", "a b", ""}
+		return &Literal{Kind: LitString, Str: strs[rng.Intn(len(strs))]}
+	default:
+		if rng.Intn(3) == 0 {
+			return &Literal{Kind: LitNull}
+		}
+		return &Literal{Kind: LitBool, Bool: rng.Intn(2) == 0}
+	}
+}
+
+func randomStatement(rng *rand.Rand) *SelectStmt {
+	stmt := &SelectStmt{Limit: -1}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		item := SelectItem{Expr: randomExpr(rng, 2)}
+		if rng.Intn(2) == 0 {
+			item.Alias = "out" + string(rune('a'+i))
+		}
+		stmt.Select = append(stmt.Select, item)
+	}
+	stmt.From = []TableRef{&BaseTable{Name: "t", Alias: "t"}}
+	if rng.Intn(3) > 0 {
+		stmt.From = append(stmt.From, &BaseTable{Name: "u"})
+	}
+	if rng.Intn(2) == 0 {
+		stmt.Where = randomExpr(rng, 3)
+	}
+	if rng.Intn(3) == 0 {
+		stmt.GroupBy = []Expr{&ColumnRef{Name: "g"}}
+		if rng.Intn(2) == 0 {
+			stmt.Having = randomExpr(rng, 2)
+		}
+	}
+	if rng.Intn(3) == 0 {
+		stmt.OrderBy = []OrderItem{{Expr: &ColumnRef{Name: "o"}, Desc: rng.Intn(2) == 0}}
+		if rng.Intn(2) == 0 {
+			stmt.Limit = rng.Intn(100)
+		}
+	}
+	return stmt
+}

@@ -1,0 +1,79 @@
+// Package sqlparser implements a lexer, AST, and recursive-descent parser
+// for the SQL subset targeted by YSmart (ICDCS 2011, §IV): selection,
+// projection, aggregation with grouping, sorting, and equi-joins (inner and
+// left/right/full outer), including derived tables (sub-queries in FROM)
+// and implicit comma joins whose join predicates live in WHERE.
+package sqlparser
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keywords are folded into KindKeyword with the upper-cased
+// keyword text stored in Token.Text.
+const (
+	KindEOF TokenKind = iota + 1
+	KindIdent
+	KindKeyword
+	KindNumber
+	KindString
+	KindSymbol
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case KindEOF:
+		return "EOF"
+	case KindIdent:
+		return "identifier"
+	case KindKeyword:
+		return "keyword"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is a single lexical token with its position in the input.
+type Token struct {
+	Kind TokenKind
+	// Text is the token text. Keywords are upper-cased; identifiers and
+	// symbols keep their source spelling; strings exclude their quotes.
+	Text string
+	// Pos is the byte offset of the token's first character.
+	Pos int
+	// Line and Col are 1-based coordinates of the token start.
+	Line, Col int
+}
+
+func (t Token) String() string {
+	if t.Kind == KindEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords is the set of reserved words recognized by the lexer. Everything
+// else alphanumeric is an identifier. Aggregate function names (COUNT, SUM,
+// AVG, MIN, MAX) are deliberately NOT keywords: they are ordinary
+// identifiers followed by '(' so that they can also be used as column names.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"BY": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"FULL": true, "OUTER": true, "ON": true, "CROSS": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "ALL": true,
+	"IS": true, "NULL": true, "BETWEEN": true, "IN": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "UNION": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(upper string) bool { return keywords[upper] }

@@ -1,0 +1,72 @@
+package translator
+
+import "testing"
+
+// Composite (multi-column) partition keys: a self-join on (uid, cid) whose
+// parent aggregation groups by the same pair must merge into a single job,
+// and every mode must agree with the oracle.
+
+const compositeSQL = `
+SELECT c1.uid, c1.cid, count(*) AS pairs, min(c2.ts) AS first_ts
+FROM clicks c1, clicks c2
+WHERE c1.uid = c2.uid AND c1.cid = c2.cid AND c1.ts < c2.ts
+GROUP BY c1.uid, c1.cid`
+
+func TestCompositeKeyMergesToOneJob(t *testing.T) {
+	tr := translate(t, compositeSQL, YSmart, Options{QueryName: "composite"})
+	if tr.NumJobs() != 1 {
+		t.Fatalf("jobs = %d, want 1 (JOIN and AGG share the composite key)\n%s",
+			tr.NumJobs(), tr.Describe())
+	}
+}
+
+func TestCompositeKeyAllModesMatchOracle(t *testing.T) {
+	checkAgainstOracle(t, compositeSQL, "composite")
+}
+
+// Aggregation edge cases through the full pipeline.
+
+func TestGlobalAggregateWithHavingAllModes(t *testing.T) {
+	checkAgainstOracle(t, `
+		SELECT count(*) AS n, sum(ts) AS total
+		FROM clicks
+		WHERE cid = 1
+		HAVING count(*) > 0`, "global-having")
+}
+
+func TestOrderByAggregateAllModes(t *testing.T) {
+	checkAgainstOracle(t, `
+		SELECT cid, count(*) AS n
+		FROM clicks
+		GROUP BY cid
+		ORDER BY count(*) DESC, cid
+		LIMIT 3`, "order-by-agg")
+}
+
+func TestDistinctThroughPipelineAllModes(t *testing.T) {
+	checkAgainstOracle(t, `SELECT DISTINCT cid FROM clicks WHERE uid < 20`, "distinct")
+}
+
+func TestThreeWayJoinAllModes(t *testing.T) {
+	// lineitem ⋈ orders ⋈ part: two different join keys, so the second
+	// join cannot merge with the first.
+	checkAgainstOracle(t, `
+		SELECT o_orderstatus, p_name, l_quantity
+		FROM lineitem, orders, part
+		WHERE o_orderkey = l_orderkey
+		  AND p_partkey = l_partkey
+		  AND l_quantity > 45`, "three-way")
+}
+
+func TestThreeWayJoinJobCounts(t *testing.T) {
+	sql := `
+		SELECT o_orderstatus, p_name
+		FROM lineitem, orders, part
+		WHERE o_orderkey = l_orderkey AND p_partkey = l_partkey`
+	oto := translate(t, sql, OneToOne, Options{QueryName: "tw-oto"})
+	ys := translate(t, sql, YSmart, Options{QueryName: "tw-ys"})
+	if oto.NumJobs() != 2 || ys.NumJobs() != 2 {
+		t.Errorf("jobs = %d/%d, want 2/2 (different keys prevent merging)",
+			oto.NumJobs(), ys.NumJobs())
+	}
+}

@@ -1,0 +1,92 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"ysmart/internal/cmf"
+)
+
+// DOT renders the translation's job graph in Graphviz dot syntax: one
+// cluster per job containing its operator dataflow (streams, merged
+// operators, post-job computations), with inter-job edges for intermediate
+// files. Paste into any dot renderer to get the pictures the paper draws by
+// hand in Fig. 5-7.
+func (t *Translation) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph ysmart {\n")
+	sb.WriteString("  rankdir=BT;\n")
+	sb.WriteString("  node [shape=box, fontsize=10];\n")
+
+	opNode := func(job int, name string) string {
+		return fmt.Sprintf("j%d_%s", job, sanitizeDot(name))
+	}
+
+	// Map each job's output path to its final node(s) for inter-job edges.
+	outputNode := make(map[string]string) // "path\x00tag" -> node id
+
+	for ji, cj := range t.CommonJobs {
+		if cj == nil { // map-only SP job
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"job %d (map-only SP)\";\n", ji, ji+1)
+			fmt.Fprintf(&sb, "    j%d_sp [label=\"scan+filter+project\"];\n  }\n", ji)
+			continue
+		}
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", ji)
+		fmt.Fprintf(&sb, "    label=\"job %d: %s\";\n", ji+1, strings.Join(t.Groups[ji], " + "))
+
+		// Stream sources (inputs).
+		streamNode := make(map[int]string)
+		for ii, in := range cj.Inputs {
+			for _, st := range in.Streams {
+				id := fmt.Sprintf("j%d_s%d", ji, st.ID)
+				streamNode[st.ID] = id
+				label := fmt.Sprintf("stream %d\\n%s", st.ID, in.Path)
+				fmt.Fprintf(&sb, "    %s [shape=ellipse, label=\"%s\"];\n", id, label)
+				// Inter-job edge when the input is another job's output.
+				if src, ok := outputNode[in.Path]; ok {
+					fmt.Fprintf(&sb, "  %s -> %s [style=dashed];\n", src, id)
+				}
+				_ = ii
+			}
+		}
+
+		// Operators.
+		for _, op := range cj.Ops {
+			id := opNode(ji, op.Name())
+			shape := "box"
+			if _, isJoin := op.(*cmf.JoinOp); isJoin {
+				shape = "diamond"
+			}
+			fmt.Fprintf(&sb, "    %s [shape=%s, label=\"%s\"];\n", id, shape, op.Name())
+			for _, src := range op.Sources() {
+				var from string
+				if src.IsOp() {
+					from = opNode(ji, src.Op)
+				} else {
+					from = streamNode[src.Stream]
+				}
+				fmt.Fprintf(&sb, "    %s -> %s;\n", from, id)
+			}
+		}
+		sb.WriteString("  }\n")
+
+		for _, out := range cj.Outputs {
+			outputNode[cj.Output] = opNode(ji, out.Op)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sanitizeDot(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/queries"
+)
+
+func TestDOTRendersJobGraph(t *testing.T) {
+	tr := translate(t, queries.Q17, YSmart, Options{QueryName: "dot"})
+	dot := tr.DOT()
+	for _, want := range []string{
+		"digraph ysmart",
+		"cluster_0", "cluster_1", // two jobs
+		"AGG1", "JOIN1", "JOIN2", "AGG2",
+		"diamond",         // joins are diamonds
+		"style=dashed",    // inter-job intermediate edge
+		"tables/lineitem", // stream labels carry paths
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces make it parseable.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces in DOT output")
+	}
+}
+
+func TestDOTMapOnlyJob(t *testing.T) {
+	tr := translate(t, "SELECT uid FROM clicks WHERE cid = 1", YSmart, Options{QueryName: "dotsp"})
+	dot := tr.DOT()
+	if !strings.Contains(dot, "map-only SP") {
+		t.Errorf("SP job not rendered:\n%s", dot)
+	}
+}

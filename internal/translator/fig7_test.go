@@ -1,0 +1,137 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/datagen"
+	"ysmart/internal/dbms"
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/plan"
+	"ysmart/internal/sqlparser"
+)
+
+// TestFig7MergingWalkthrough reconstructs the paper's Fig. 7 example as
+// SQL and checks YSmart reaches the optimal grouping {J2, J1+4+3+5}:
+//
+//   - JOIN1 (r ⋈ s) and AGG2 (r grouped) have input+transit correlation;
+//   - JOIN2 has job-flow correlation with JOIN1 but not AGG1 (the join
+//     column on AGG1's side is a computed aggregate with no lineage);
+//   - JOIN3 has job-flow correlation with both JOIN2 and AGG2.
+//
+// Rule 4 exchanges JOIN2's children so AGG1's job runs first, and the
+// cascade of Rules 1, 3 and 4 folds everything else into one common job —
+// two jobs total, exactly the paper's Fig. 7(b) outcome.
+func TestFig7MergingWalkthrough(t *testing.T) {
+	cat := fig7Catalog()
+	stmt, err := sqlparser.Parse(fig7SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := plan.Build(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oto, err := Translate(root, OneToOne, Options{QueryName: "fig7-oto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oto.NumJobs() != 5 {
+		t.Fatalf("one-to-one jobs = %d, want 5\n%s", oto.NumJobs(), oto.Describe())
+	}
+
+	ys, err := Translate(root, YSmart, Options{QueryName: "fig7-ys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ys.NumJobs() != 2 {
+		t.Fatalf("ysmart jobs = %d, want 2 (the Fig. 7(b) sequence)\n%s",
+			ys.NumJobs(), ys.Describe())
+	}
+	// First job is AGG1 alone (executed before the common job, Rule 4);
+	// the second is the four-operation common job.
+	if got := strings.Join(ys.Groups[0], "+"); got != "AGG1" {
+		t.Errorf("job 1 ops = %s, want AGG1", got)
+	}
+	// Operation order inside the common job follows the post-order IDs
+	// after the Rule 4 exchange (AGG1's subtree first).
+	if got := strings.Join(ys.Groups[1], "+"); got != "JOIN1+JOIN2+AGG2+JOIN3" {
+		t.Errorf("job 2 ops = %s, want JOIN1+JOIN2+AGG2+JOIN3", got)
+	}
+
+	// Execution correctness on small data, against the oracle.
+	dfs := mapreduce.NewDFS()
+	db := dbms.NewDatabase()
+	for name, rows := range fig7Data() {
+		schema, _ := cat.Table(name)
+		dfs.Write(TablePath(name), datagen.Lines(rows))
+		db.Load(name, schema, rows)
+	}
+	oracle, err := dbms.Execute(root, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracle.Rows) == 0 {
+		t.Fatal("fig7 data produces no rows; the scenario is vacuous")
+	}
+	for _, tr := range []*Translation{oto, ys} {
+		eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunChain(tr.Jobs); err != nil {
+			t.Fatalf("run (%v): %v", tr.Mode, err)
+		}
+		rows, err := tr.ReadResult(dfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, tr.OutputSchema, rows, oracle.Rows)
+	}
+}
+
+const fig7SQL = `
+SELECT j2.a, j2.c, ag2.n FROM
+ (SELECT j1.a AS a, j1.c AS c FROM
+    (SELECT r.a AS a, r.b AS b, s.c AS c FROM r, s WHERE r.a = s.a) AS j1,
+    (SELECT d, max(e) AS me FROM t GROUP BY d) AS ag1
+  WHERE j1.a = ag1.me) AS j2,
+ (SELECT a, count(*) AS n FROM r GROUP BY a) AS ag2
+WHERE j2.a = ag2.a`
+
+func fig7Catalog() plan.MapCatalog {
+	return plan.MapCatalog{
+		"r": exec.NewSchema(
+			exec.Column{Name: "a", Type: exec.TypeInt},
+			exec.Column{Name: "b", Type: exec.TypeInt},
+		),
+		"s": exec.NewSchema(
+			exec.Column{Name: "a", Type: exec.TypeInt},
+			exec.Column{Name: "c", Type: exec.TypeInt},
+		),
+		"t": exec.NewSchema(
+			exec.Column{Name: "d", Type: exec.TypeInt},
+			exec.Column{Name: "e", Type: exec.TypeInt},
+		),
+	}
+}
+
+func fig7Data() map[string][]exec.Row {
+	ir := func(vals ...int64) exec.Row {
+		r := make(exec.Row, len(vals))
+		for i, v := range vals {
+			r[i] = exec.Int(v)
+		}
+		return r
+	}
+	return map[string][]exec.Row{
+		// r.a values 1..4.
+		"r": {ir(1, 10), ir(2, 20), ir(2, 21), ir(3, 30), ir(4, 40)},
+		// s matches a = 1, 2, 4.
+		"s": {ir(1, 100), ir(2, 200), ir(4, 400)},
+		// t groups whose max(e) hits r.a values 2 and 4.
+		"t": {ir(7, 1), ir(7, 2), ir(8, 4), ir(9, 99)},
+	}
+}

@@ -1,0 +1,110 @@
+package translator
+
+import (
+	"fmt"
+
+	"ysmart/internal/cmf"
+	"ysmart/internal/correlation"
+	"ysmart/internal/exec"
+)
+
+// buildOp lowers one operation onto the job's per-key dataflow graph.
+func (lw *lowerer) buildOp(cj *cmf.CommonJob, jb *jobBuild, op *correlation.Operation, srcs []cmf.Source, effs []effView, topLimit int, addOp func(cmf.Op)) error {
+	switch op.Kind {
+	case correlation.KindJoin:
+		j := op.Join
+		effConcat := effs[0].concat(effs[1], j.Left.Schema().Len())
+		var residual cmf.RowPred
+		if j.Residual != nil {
+			ev, err := exec.Compile(j.Residual, effConcat.schema)
+			if err != nil {
+				return fmt.Errorf("%s residual: %w", op.Name(), err)
+			}
+			residual = func(r exec.Row) (bool, error) {
+				return exec.EvalPredicate(ev, r)
+			}
+		}
+		addOp(&cmf.JoinOp{
+			OpName:     op.Name(),
+			Left:       srcs[0],
+			Right:      srcs[1],
+			LeftWidth:  len(effs[0].cols),
+			RightWidth: len(effs[1].cols),
+			Type:       j.Type,
+			Residual:   residual,
+		})
+		lw.effOf[op] = effConcat
+		return nil
+
+	case correlation.KindAgg:
+		agg := op.Agg
+		childSchema := effs[0].schema
+		groupFns := make([]cmf.RowFn, len(agg.GroupBy))
+		for i, g := range agg.GroupBy {
+			ev, err := exec.Compile(g, childSchema)
+			if err != nil {
+				return fmt.Errorf("%s group %s: %w", op.Name(), g.SQL(), err)
+			}
+			groupFns[i] = cmf.RowFn(ev)
+		}
+		aggFns := make([]cmf.AggFunc, len(agg.Aggs))
+		kinds := make([]exec.AggKind, len(agg.Aggs))
+		for i, spec := range agg.Aggs {
+			kinds[i] = spec.Kind
+			fn := cmf.AggFunc{Kind: spec.Kind}
+			if spec.Arg != nil {
+				ev, err := exec.Compile(spec.Arg, childSchema)
+				if err != nil {
+					return fmt.Errorf("%s aggregate %s: %w", op.Name(), spec.Name, err)
+				}
+				fn.Arg = cmf.RowFn(ev)
+			}
+			aggFns[i] = fn
+		}
+		aggOp := &cmf.AggOp{
+			OpName:  op.Name(),
+			In:      srcs[0],
+			GroupBy: groupFns,
+			Aggs:    aggFns,
+		}
+		// Map-side partial aggregation (Hive's hash-aggregate map phase)
+		// applies to standalone aggregation jobs with decomposable
+		// aggregates whose input is a mapper stream.
+		if lw.combine && len(jb.ops) == 1 && !srcs[0].IsOp() && cmf.Decomposable(kinds) {
+			aggOp.FromPartials = true
+			cj.CombineOp = op.Name()
+		}
+		addOp(aggOp)
+		if len(agg.GroupBy) == 0 {
+			cj.NumReduceTasks = 1 // global aggregation runs in one reducer
+		}
+		lw.effOf[op] = fullView(agg.Schema())
+		return nil
+
+	case correlation.KindSort:
+		s := op.Sort
+		keys := make([]cmf.SortKey, len(s.Keys))
+		for i, k := range s.Keys {
+			ev, err := exec.Compile(k.Expr, effs[0].schema)
+			if err != nil {
+				return fmt.Errorf("%s key %s: %w", op.Name(), k.Expr.SQL(), err)
+			}
+			keys[i] = cmf.SortKey{Fn: cmf.RowFn(ev), Desc: k.Desc}
+		}
+		limit := 0
+		if op == lw.analysis.RootOp {
+			limit = topLimit
+		}
+		addOp(&cmf.SortOp{OpName: op.Name(), In: srcs[0], Keys: keys, Limit: limit})
+		if !lw.parallelSort(op) {
+			// A global LIMIT forces the classic single-reducer total order;
+			// otherwise range-ordered keys let every reducer participate.
+			cj.NumReduceTasks = 1
+		}
+		lw.effOf[op] = effs[0]
+		return nil
+
+	default:
+		return fmt.Errorf("unknown operation kind %v", op.Kind)
+	}
+}

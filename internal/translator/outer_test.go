@@ -1,0 +1,134 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/dbms"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/queries"
+)
+
+// Outer-join coverage beyond the workload's single LEFT OUTER JOIN: right
+// and full outer joins, and the anti-join (outer join + IS NULL) pattern,
+// each checked against the oracle in every translation mode.
+
+func checkAgainstOracle(t *testing.T, sql, name string) {
+	t.Helper()
+	dfs, db := workload(t)
+	root, err := queries.Plan(sql)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	oracle, err := dbms.Execute(root, db)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if len(oracle.Rows) == 0 {
+		t.Fatalf("oracle returned no rows; the scenario is vacuous:\n%s", sql)
+	}
+	for _, mode := range allModes {
+		tr, err := Translate(root, mode, Options{QueryName: name + "-" + mode.String()})
+		if err != nil {
+			t.Fatalf("translate (%v): %v", mode, err)
+		}
+		eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunChain(tr.Jobs); err != nil {
+			t.Fatalf("run (%v): %v", mode, err)
+		}
+		rows, err := tr.ReadResult(dfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, tr.OutputSchema, rows, oracle.Rows)
+	}
+}
+
+func TestRightOuterJoinAllModes(t *testing.T) {
+	checkAgainstOracle(t, `
+		SELECT late.l_orderkey, late.n, o_orderkey, o_orderstatus
+		FROM (SELECT l_orderkey, count(*) AS n
+		      FROM lineitem
+		      WHERE l_receiptdate > l_commitdate
+		      GROUP BY l_orderkey) AS late
+		RIGHT OUTER JOIN orders ON late.l_orderkey = o_orderkey`, "right-outer")
+}
+
+func TestFullOuterJoinAllModes(t *testing.T) {
+	checkAgainstOracle(t, `
+		SELECT late.l_orderkey, late.n, f.o_orderkey, f.o_totalprice
+		FROM (SELECT l_orderkey, count(*) AS n
+		      FROM lineitem
+		      WHERE l_receiptdate > l_commitdate
+		      GROUP BY l_orderkey) AS late
+		FULL OUTER JOIN
+		     (SELECT o_orderkey, o_totalprice
+		      FROM orders
+		      WHERE o_orderstatus = 'F') AS f
+		ON late.l_orderkey = f.o_orderkey`, "full-outer")
+}
+
+func TestAntiJoinPatternAllModes(t *testing.T) {
+	// Orders with no late lineitem: LEFT OUTER JOIN + IS NULL.
+	checkAgainstOracle(t, `
+		SELECT o_orderkey, o_orderstatus
+		FROM orders
+		LEFT OUTER JOIN
+		     (SELECT l_orderkey, count(*) AS n
+		      FROM lineitem
+		      WHERE l_receiptdate > l_commitdate
+		      GROUP BY l_orderkey) AS late
+		ON o_orderkey = late.l_orderkey
+		WHERE late.n IS NULL`, "anti-join")
+}
+
+func TestAggregationAboveOuterJoinAllModes(t *testing.T) {
+	// Grouping on top of an outer join: NULL-extended rows group by the
+	// preserved side's key.
+	checkAgainstOracle(t, `
+		SELECT o_orderstatus, count(*) AS orders_n, count(late.n) AS with_late
+		FROM orders
+		LEFT OUTER JOIN
+		     (SELECT l_orderkey, count(*) AS n
+		      FROM lineitem
+		      WHERE l_receiptdate > l_commitdate
+		      GROUP BY l_orderkey) AS late
+		ON o_orderkey = late.l_orderkey
+		GROUP BY o_orderstatus`, "agg-outer")
+}
+
+// TestCorruptTableDataSurfacesError: malformed rows in a base table produce
+// a decode error naming the column, in both engines.
+func TestCorruptTableDataSurfacesError(t *testing.T) {
+	dfs, _ := workload(t)
+	lines, err := dfs.Read(TablePath("orders"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]string{}, lines...)
+	corrupted[3] = "not\tan\torder\trow"
+	dfs.Write(TablePath("orders"), corrupted)
+
+	root, err := queries.Plan(queries.Q21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Translate(root, YSmart, Options{QueryName: "corrupt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.RunChain(tr.Jobs)
+	if err == nil {
+		t.Fatal("corrupted input should fail the job")
+	}
+	if !strings.Contains(err.Error(), "fields") && !strings.Contains(err.Error(), "parse") {
+		t.Errorf("error should describe the decode failure: %v", err)
+	}
+}

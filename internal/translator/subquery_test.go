@@ -1,0 +1,148 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+
+	"ysmart/internal/dbms"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/queries"
+)
+
+// TestQ18OrigEqualsFlattenedQ18: the automatically flattened nested Q18
+// must return exactly the rows of the paper's hand-flattened version, in
+// every translation mode.
+func TestQ18OrigEqualsFlattenedQ18(t *testing.T) {
+	dfs, db := workload(t)
+	flatRoot, err := queries.Plan(queries.Q18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := dbms.Execute(flatRoot, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRoot, err := queries.Plan(queries.Q18Orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := dbms.Execute(origRoot, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Rows) == 0 {
+		t.Fatal("Q18 returned no rows; equivalence is vacuous")
+	}
+	assertSameRows(t, origRoot.Schema(), orig.Rows, flat.Rows)
+
+	for _, mode := range allModes {
+		tr, err := Translate(origRoot, mode, Options{QueryName: "q18orig-" + mode.String()})
+		if err != nil {
+			t.Fatalf("translate (%v): %v", mode, err)
+		}
+		eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunChain(tr.Jobs); err != nil {
+			t.Fatalf("run (%v): %v", mode, err)
+		}
+		rows, err := tr.ReadResult(dfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, tr.OutputSchema, rows, flat.Rows)
+	}
+}
+
+// TestSemiJoinSkipsRedundantDedup: a subquery already grouped on its output
+// column needs no extra deduplication aggregate, so the nested Q18 gets the
+// same operation count as a hand-written semi-join.
+func TestSemiJoinSkipsRedundantDedup(t *testing.T) {
+	tr := translate(t, queries.Q18Orig, YSmart, Options{QueryName: "q18orig"})
+	ops := 0
+	for _, g := range tr.Groups {
+		ops += len(g)
+	}
+	// customer⋈orders, orders⋈lineitem, AGG (subquery), semi-join, AGG2,
+	// SORT — six operations; a redundant dedup would make it seven.
+	if ops != 6 {
+		t.Errorf("operations = %d, want 6 (no redundant dedup)\n%s", ops, tr.Describe())
+	}
+}
+
+// TestSemiJoinWithDedup: a non-distinct subquery side gets a deduplication
+// aggregate so the semi-join preserves outer multiplicity.
+func TestSemiJoinWithDedup(t *testing.T) {
+	// The subquery projects uid from raw clicks: duplicates everywhere.
+	sql := `SELECT cid, ts FROM clicks
+	        WHERE uid IN (SELECT uid FROM clicks WHERE cid = 2)
+	          AND cid = 1`
+	checkAgainstOracle(t, sql, "semi-dedup")
+
+	tr := translate(t, sql, YSmart, Options{QueryName: "semi-dedup-ops"})
+	found := false
+	for _, g := range tr.Groups {
+		for _, op := range g {
+			if strings.HasPrefix(op, "AGG") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected a dedup aggregation in the job plan:\n%s", tr.Describe())
+	}
+}
+
+// TestInSubqueryOnJoinKeyMerges: when the IN column is the shared partition
+// key, the semi-join participates in YSmart's merging like any other join.
+func TestInSubqueryOnJoinKeyMerges(t *testing.T) {
+	sql := `SELECT l_orderkey, l_quantity FROM lineitem
+	        WHERE l_orderkey IN (SELECT l_orderkey FROM lineitem
+	                             GROUP BY l_orderkey
+	                             HAVING count(*) > 3)`
+	checkAgainstOracle(t, sql, "semi-merge")
+	tr := translate(t, sql, YSmart, Options{QueryName: "semi-merge-ops"})
+	if tr.NumJobs() != 1 {
+		t.Errorf("jobs = %d, want 1 (AGG and semi-join share l_orderkey)\n%s",
+			tr.NumJobs(), tr.Describe())
+	}
+}
+
+func TestInSubqueryErrors(t *testing.T) {
+	bad := []struct {
+		name, sql, want string
+	}{
+		{
+			"not in subquery",
+			"SELECT uid FROM clicks WHERE uid NOT IN (SELECT uid FROM clicks)",
+			"NOT IN",
+		},
+		{
+			"expression lhs",
+			"SELECT uid FROM clicks WHERE uid + 1 IN (SELECT uid FROM clicks)",
+			"plain column",
+		},
+		{
+			"multi-column subquery",
+			"SELECT uid FROM clicks WHERE uid IN (SELECT uid, cid FROM clicks)",
+			"exactly one column",
+		},
+		{
+			"subquery under OR",
+			"SELECT uid FROM clicks WHERE cid = 1 OR uid IN (SELECT uid FROM clicks)",
+			"top-level WHERE conjunct",
+		},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := queries.Plan(tt.sql)
+			if err == nil {
+				t.Fatalf("Plan(%q) succeeded, want error containing %q", tt.sql, tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}

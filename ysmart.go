@@ -1,0 +1,271 @@
+// Package ysmart is a from-scratch reproduction of "YSmart: Yet Another
+// SQL-to-MapReduce Translator" (Lee, Luo, Huai, Wang, He, Zhang — ICDCS
+// 2011): a correlation-aware translator that compiles SQL queries into the
+// minimal number of MapReduce jobs by detecting input, transit and job-flow
+// correlations between the query's operations, plus everything it needs to
+// run — a SQL parser and planner, a Common MapReduce Framework, a
+// deterministic simulated Hadoop engine with a calibrated cost model, a
+// pipelined DBMS baseline, workload generators, and harnesses regenerating
+// every figure of the paper's evaluation.
+//
+// The quickest path through the API:
+//
+//	cat := ysmart.Catalog{"clicks": ysmart.NewSchema(...)}
+//	q, _ := ysmart.Parse("SELECT cid, count(*) FROM clicks GROUP BY cid", cat)
+//	tr, _ := q.Translate(ysmart.YSmart, ysmart.Options{QueryName: "demo"})
+//	rt, _ := ysmart.NewRuntime(ysmart.SmallCluster())
+//	rt.LoadTable("clicks", rows)
+//	res, _ := rt.Run(tr)
+//
+// See examples/ for runnable programs and internal/experiments for the
+// paper's evaluation.
+package ysmart
+
+import (
+	"fmt"
+
+	"ysmart/internal/correlation"
+	"ysmart/internal/datagen"
+	"ysmart/internal/dbms"
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/plan"
+	"ysmart/internal/queries"
+	"ysmart/internal/sqlparser"
+	"ysmart/internal/translator"
+)
+
+// Re-exported data-model types.
+type (
+	// Value is a dynamically typed SQL value.
+	Value = exec.Value
+	// Row is a tuple of values.
+	Row = exec.Row
+	// Column describes one schema attribute.
+	Column = exec.Column
+	// Schema is an ordered list of columns.
+	Schema = exec.Schema
+	// Catalog maps table names to schemas.
+	Catalog = plan.MapCatalog
+	// Cluster configures the simulated cluster (nodes, slots, cost model,
+	// compression, contention, data scale).
+	Cluster = mapreduce.Cluster
+	// Mode selects a translation strategy.
+	Mode = translator.Mode
+	// Options tunes a translation.
+	Options = translator.Options
+	// Translation is a compiled, executable MapReduce job chain.
+	Translation = translator.Translation
+	// ChainStats reports per-job counters and simulated times.
+	ChainStats = mapreduce.ChainStats
+)
+
+// Value type constants and constructors.
+const (
+	TypeNull   = exec.TypeNull
+	TypeInt    = exec.TypeInt
+	TypeFloat  = exec.TypeFloat
+	TypeString = exec.TypeString
+	TypeBool   = exec.TypeBool
+)
+
+// Translation modes (see the paper's §III and §V).
+const (
+	// OneToOne is the Hive-style one-operation-to-one-job baseline.
+	OneToOne = translator.OneToOne
+	// PigLike is the Pig-style baseline (no combiner, fat intermediates).
+	PigLike = translator.PigLike
+	// ICTCOnly applies only merging Rule 1 (input+transit correlation).
+	ICTCOnly = translator.ICTCOnly
+	// YSmart applies all four merging rules.
+	YSmart = translator.YSmart
+)
+
+// Value constructors.
+var (
+	Null  = exec.Null
+	Int   = exec.Int
+	Float = exec.Float
+	Str   = exec.Str
+	Bool  = exec.Bool
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return exec.NewSchema(cols...) }
+
+// Cluster presets modelled on the paper's test environments (§VII.B).
+var (
+	// SmallCluster is the two-node lab cluster (one TaskTracker, 4 slots).
+	SmallCluster = mapreduce.SmallCluster
+	// EC2Cluster models an Amazon EC2 cluster with the given worker count.
+	EC2Cluster = mapreduce.EC2Cluster
+	// FacebookCluster models the 747-node shared production cluster; the
+	// seed drives its deterministic contention.
+	FacebookCluster = mapreduce.FacebookCluster
+)
+
+// WorkloadCatalog returns the paper's table catalog (TPC-H subset plus the
+// click-stream table), and WorkloadQueries the named workload queries
+// (Q17, Q18, Q21, Q-CSA, Q-AGG).
+func WorkloadCatalog() Catalog           { return queries.Catalog() }
+func WorkloadQueries() map[string]string { return queries.Named() }
+
+// TablePath is the DFS path a base table is loaded at.
+func TablePath(table string) string { return translator.TablePath(table) }
+
+// ---------------------------------------------------------------------------
+// Query: parse + plan + analyze
+// ---------------------------------------------------------------------------
+
+// Query is a parsed and planned SQL query.
+type Query struct {
+	SQL      string
+	root     plan.Node
+	analysis *correlation.Analysis
+}
+
+// Parse parses sql and builds its logical plan against the catalog.
+func Parse(sql string, cat Catalog) (*Query, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	root, err := plan.Build(stmt, cat)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	a, err := correlation.Analyze(root)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	return &Query{SQL: sql, root: root, analysis: a}, nil
+}
+
+// Plan returns the logical plan root (for advanced callers).
+func (q *Query) Plan() plan.Node { return q.root }
+
+// OutputSchema is the schema of the query result.
+func (q *Query) OutputSchema() *Schema { return q.root.Schema() }
+
+// ExplainPlan renders the logical plan tree.
+func (q *Query) ExplainPlan() string { return plan.Format(q.root) }
+
+// ExplainCorrelations renders the detected operations, partition keys and
+// correlations (the paper's §IV analysis).
+func (q *Query) ExplainCorrelations() string { return q.analysis.Report() }
+
+// Translate compiles the query into MapReduce jobs under a mode.
+func (q *Query) Translate(mode Mode, opts Options) (*Translation, error) {
+	return translator.Translate(q.root, mode, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Runtime: DFS + engine
+// ---------------------------------------------------------------------------
+
+// Runtime couples a simulated DFS with an engine on a cluster model.
+type Runtime struct {
+	dfs    *mapreduce.DFS
+	engine *mapreduce.Engine
+}
+
+// NewRuntime builds a runtime over a fresh DFS.
+func NewRuntime(cluster *Cluster) (*Runtime, error) {
+	dfs := mapreduce.NewDFS()
+	eng, err := mapreduce.NewEngine(dfs, cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{dfs: dfs, engine: eng}, nil
+}
+
+// DFS exposes the runtime's file system.
+func (r *Runtime) DFS() *mapreduce.DFS { return r.dfs }
+
+// LoadTable stores rows as a base table.
+func (r *Runtime) LoadTable(name string, rows []Row) {
+	r.dfs.Write(TablePath(name), datagen.Lines(rows))
+}
+
+// LoadTables stores a whole generated data set.
+func (r *Runtime) LoadTables(tables map[string][]Row) {
+	for name, rows := range tables {
+		r.LoadTable(name, rows)
+	}
+}
+
+// LoadTableLines stores pre-encoded rows (the codec format EncodeTable
+// produces and ysmart-datagen writes) as a base table.
+func (r *Runtime) LoadTableLines(name string, lines []string) {
+	r.dfs.Write(TablePath(name), lines)
+}
+
+// EncodeTable renders rows in the engine's row codec, one line per row —
+// the format LoadTableLines and the DFS consume.
+func EncodeTable(rows []Row) []string { return datagen.Lines(rows) }
+
+// Result is an executed query: its rows plus execution statistics.
+type Result struct {
+	Schema *Schema
+	Rows   []Row
+	Stats  *ChainStats
+}
+
+// Run executes a translation and reads back its result.
+func (r *Runtime) Run(t *Translation) (*Result, error) {
+	stats, err := r.engine.RunChain(t.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := t.ReadResult(r.dfs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: t.OutputSchema, Rows: rows, Stats: stats}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Data generation and the DBMS baseline
+// ---------------------------------------------------------------------------
+
+// GenerateTPCH produces the deterministic TPC-H subset.
+func GenerateTPCH(cfg datagen.TPCHConfig) (map[string][]Row, error) {
+	return datagen.TPCH(cfg)
+}
+
+// GenerateClicks produces the deterministic click-stream table.
+func GenerateClicks(cfg datagen.ClickConfig) (map[string][]Row, error) {
+	return datagen.Clickstream(cfg)
+}
+
+// Re-exported generator configuration types and defaults.
+type (
+	// TPCHConfig sizes the TPC-H generator.
+	TPCHConfig = datagen.TPCHConfig
+	// ClickConfig sizes the click-stream generator.
+	ClickConfig = datagen.ClickConfig
+)
+
+// Default generator configurations.
+var (
+	DefaultTPCH   = datagen.DefaultTPCH
+	DefaultClicks = datagen.DefaultClicks
+)
+
+// OracleResult runs the query on the single-node pipelined executor — the
+// correctness oracle and the paper's "ideal parallel DBMS" baseline.
+func OracleResult(q *Query, cat Catalog, tables map[string][]Row) ([]Row, error) {
+	db := dbms.NewDatabase()
+	for name, rows := range tables {
+		schema, ok := cat.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("no schema for table %q", name)
+		}
+		db.Load(name, schema, rows)
+	}
+	res, err := dbms.Execute(q.root, db)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
