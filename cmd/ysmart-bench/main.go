@@ -6,14 +6,17 @@
 //
 //	ysmart-bench            # all figures
 //	ysmart-bench -fig 9     # just Fig. 9
+//	ysmart-bench -fig 9 -json   # machine-readable rows instead of tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"ysmart/internal/experiments"
+	"ysmart/internal/obs"
 )
 
 func main() {
@@ -23,9 +26,17 @@ func main() {
 	}
 }
 
+// figResult is what every figure harness returns: a human-readable table
+// and flat machine-readable rows.
+type figResult interface {
+	Format() string
+	BenchRows() []experiments.BenchRow
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("ysmart-bench", flag.ContinueOnError)
 	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, all")
+	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,20 +48,21 @@ func run(args []string) error {
 
 	type figure struct {
 		name string
-		run  func() (interface{ Format() string }, error)
+		run  func() (figResult, error)
 	}
 	figures := []figure{
-		{"2b", func() (interface{ Format() string }, error) { return experiments.Fig2b(w) }},
-		{"9", func() (interface{ Format() string }, error) { return experiments.Fig9(w) }},
-		{"10", func() (interface{ Format() string }, error) { return experiments.Fig10(w) }},
-		{"11", func() (interface{ Format() string }, error) { return experiments.Fig11(w) }},
-		{"12", func() (interface{ Format() string }, error) { return experiments.Fig12(w) }},
-		{"13", func() (interface{ Format() string }, error) { return experiments.Fig13(w) }},
-		{"ablations", func() (interface{ Format() string }, error) { return experiments.Ablations(w) }},
-		{"scaling", func() (interface{ Format() string }, error) { return experiments.ScalingSweep(w) }},
+		{"2b", func() (figResult, error) { return experiments.Fig2b(w) }},
+		{"9", func() (figResult, error) { return experiments.Fig9(w) }},
+		{"10", func() (figResult, error) { return experiments.Fig10(w) }},
+		{"11", func() (figResult, error) { return experiments.Fig11(w) }},
+		{"12", func() (figResult, error) { return experiments.Fig12(w) }},
+		{"13", func() (figResult, error) { return experiments.Fig13(w) }},
+		{"ablations", func() (figResult, error) { return experiments.Ablations(w) }},
+		{"scaling", func() (figResult, error) { return experiments.ScalingSweep(w) }},
 	}
 
 	matched := false
+	var rows []experiments.BenchRow
 	for _, f := range figures {
 		if *fig != "all" && *fig != f.name {
 			continue
@@ -60,10 +72,29 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("fig %s: %w", f.name, err)
 		}
+		if *asJSON {
+			rows = append(rows, result.BenchRows()...)
+			continue
+		}
 		fmt.Println(result.Format())
+		rows = append(rows, result.BenchRows()...)
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, all)", *fig)
 	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+
+	var scanned, shuffled int64
+	for _, r := range rows {
+		scanned += r.ScanBytes
+		shuffled += r.ShuffleBytes
+	}
+	fmt.Printf("bench totals: %d runs, %s scanned, %s shuffled (raw counters)\n",
+		len(rows), obs.FormatBytes(scanned), obs.FormatBytes(shuffled))
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ysmart/internal/experiments"
+)
 
 func TestSingleFigure(t *testing.T) {
 	if err := run([]string{"-fig", "2b"}); err != nil {
@@ -11,5 +17,67 @@ func TestSingleFigure(t *testing.T) {
 func TestUnknownFigure(t *testing.T) {
 	if err := run([]string{"-fig", "nope"}); err == nil {
 		t.Error("unknown figure should error")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func() error) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		var buf []byte
+		chunk := make([]byte, 4096)
+		for {
+			n, err := r.Read(chunk)
+			buf = append(buf, chunk[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- buf
+	}()
+	ferr := f()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return out
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-fig", "9", "-json"}) })
+	var rows []experiments.BenchRow
+	if err := json.Unmarshal(out, &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig 9 rows = %d, want 4 (one-op-one-job, ic+tc, ysmart, hand-coded)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Figure != "9" || r.Query == "" || r.System == "" {
+			t.Errorf("row missing identity fields: %+v", r)
+		}
+		if r.Jobs <= 0 || r.Seconds <= 0 || r.ScanBytes <= 0 {
+			t.Errorf("row missing measurements: %+v", r)
+		}
+	}
+	// The figure's point: YSmart's merged plan beats the one-to-one baseline.
+	bySystem := map[string]experiments.BenchRow{}
+	for _, r := range rows {
+		bySystem[r.System] = r
+	}
+	if ys, oto := bySystem["ysmart"], bySystem["one-op-one-job"]; ys.Seconds >= oto.Seconds || ys.Jobs >= oto.Jobs {
+		t.Errorf("ysmart (%d jobs, %.0fs) should beat one-op-one-job (%d jobs, %.0fs)",
+			ys.Jobs, ys.Seconds, oto.Jobs, oto.Seconds)
 	}
 }

@@ -11,6 +11,13 @@
 // (input, transit, job-flow) and the generated job plan. With -run it loads
 // deterministic workload data, executes the jobs, and prints the result
 // rows plus per-job simulated times.
+//
+// Observability flags:
+//
+//	ysmart -query Q21 -run -trace q21.json   # Chrome trace-event JSON (Perfetto)
+//	ysmart -query Q21 -run -timeline         # ASCII Gantt of the simulated run
+//	ysmart -query Q21 -run -metrics -        # Prometheus-style counter dump
+//	ysmart -query Q21 -run -analyze          # job graph annotated with counters
 package main
 
 import (
@@ -41,9 +48,16 @@ func run(args []string) error {
 		dataDir   = fs.String("data", "", "load tables from <dir>/<table>.tsv (ysmart-datagen output) instead of generating")
 		runIt     = fs.Bool("run", false, "execute on workload data and print results")
 		maxRows   = fs.Int("max-rows", 20, "result rows to print")
+		traceOut  = fs.String("trace", "", "write Chrome trace-event JSON to <file> (- for stdout); implies -run")
+		timeline  = fs.Bool("timeline", false, "print an ASCII timeline of the simulated execution; implies -run")
+		metricsTo = fs.String("metrics", "", "write Prometheus-style metrics to <file> (- for stdout); implies -run")
+		analyze   = fs.Bool("analyze", false, "print the job graph annotated with post-run counters (explain -analyze); implies -run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze {
+		*runIt = true
 	}
 
 	sql := *sqlText
@@ -71,7 +85,22 @@ func run(args []string) error {
 	if label == "" {
 		label = "adhoc"
 	}
-	tr, err := q.Translate(mode, ysmart.Options{QueryName: strings.ToLower(label)})
+
+	// Instrumentation is created before translation so rule-application
+	// events from the merging phase land in the same trace as execution.
+	var collector *ysmart.Collector
+	var registry *ysmart.Registry
+	if *traceOut != "" || *timeline {
+		collector = ysmart.NewCollector()
+	}
+	if *metricsTo != "" {
+		registry = ysmart.NewRegistry()
+	}
+	opts := ysmart.Options{QueryName: strings.ToLower(label), Metrics: registry}
+	if collector != nil {
+		opts.Tracer = collector
+	}
+	tr, err := q.Translate(mode, opts)
 	if err != nil {
 		return err
 	}
@@ -119,13 +148,23 @@ func run(args []string) error {
 		rt.LoadTables(clicks)
 	}
 
-	res, err := rt.Run(tr)
+	var runOpts []ysmart.RunOption
+	if collector != nil {
+		runOpts = append(runOpts, ysmart.WithTracer(collector))
+	}
+	if registry != nil {
+		runOpts = append(runOpts, ysmart.WithMetrics(registry))
+	}
+	res, err := rt.Run(tr, runOpts...)
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("== execution ==")
 	fmt.Println(res.Stats.String())
+	fmt.Printf("  scanned %s, shuffled %s\n",
+		ysmart.FormatBytes(res.Stats.TotalMapInputBytes()),
+		ysmart.FormatBytes(res.Stats.TotalShuffleBytes()))
 	fmt.Printf("== result (%d rows, schema %s) ==\n", len(res.Rows), res.Schema)
 	for i, row := range res.Rows {
 		if i >= *maxRows {
@@ -138,7 +177,39 @@ func run(args []string) error {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
+
+	if *timeline {
+		fmt.Println("== timeline ==")
+		fmt.Print(ysmart.RenderTimeline(collector.Events(), 100))
+	}
+	if *analyze {
+		fmt.Println("== job graph (analyzed) ==")
+		fmt.Print(tr.DOTAnalyzed(res.Stats))
+	}
+	if *traceOut != "" {
+		if err := writeOutput(*traceOut, ysmart.ChromeTrace(collector.Events())); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if *metricsTo != "" {
+		var buf strings.Builder
+		if err := ysmart.WriteMetrics(&buf, registry); err != nil {
+			return err
+		}
+		if err := writeOutput(*metricsTo, []byte(buf.String())); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeOutput writes data to a file, or stdout when path is "-".
+func writeOutput(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // loadDataDir loads every <table>.tsv under dir into the runtime.

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -111,5 +113,108 @@ func TestRunWithDataDir(t *testing.T) {
 	}
 	if err := run([]string{"-query", "Q-AGG", "-run", "-data", t.TempDir()}); err == nil {
 		t.Error("empty data dir should error")
+	}
+}
+
+// TestRunTraceOutput is the acceptance test for -trace: the file must be
+// valid Chrome trace-event JSON with job spans enclosing phase spans
+// enclosing wave spans, and two runs must produce identical bytes.
+func TestRunTraceOutput(t *testing.T) {
+	trace := func() []byte {
+		path := t.TempDir() + "/trace.json"
+		if err := run([]string{"-query", "Q21", "-run", "-trace", path}); err != nil {
+			t.Fatalf("run -trace: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	data := trace()
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	type span struct {
+		name       string
+		start, end float64
+		tid        int
+	}
+	spans := map[string][]span{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Cat] = append(spans[ev.Cat], span{ev.Name, ev.Ts, ev.Ts + ev.Dur, ev.Tid})
+		}
+	}
+	if len(spans["job"]) == 0 || len(spans["phase"]) == 0 || len(spans["wave"]) == 0 {
+		t.Fatalf("missing spans: %d job, %d phase, %d wave",
+			len(spans["job"]), len(spans["phase"]), len(spans["wave"]))
+	}
+	// Containment with a microsecond of slack for the µs rounding in export.
+	within := func(outer, inner span) bool {
+		return outer.tid == inner.tid && outer.start <= inner.start+1 && outer.end+1 >= inner.end
+	}
+	enclosed := func(inner span, outers []span) bool {
+		for _, o := range outers {
+			if within(o, inner) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ph := range spans["phase"] {
+		if !enclosed(ph, spans["job"]) {
+			t.Errorf("phase %q [%f,%f] tid %d not inside any job span", ph.name, ph.start, ph.end, ph.tid)
+		}
+	}
+	for _, wv := range spans["wave"] {
+		if !enclosed(wv, spans["phase"]) {
+			t.Errorf("wave %q [%f,%f] tid %d not inside any phase span", wv.name, wv.start, wv.end, wv.tid)
+		}
+	}
+
+	if again := trace(); !bytes.Equal(data, again) {
+		t.Error("two traced runs wrote different bytes")
+	}
+}
+
+// TestRunObservabilityFlags smoke-tests the remaining observability paths.
+func TestRunObservabilityFlags(t *testing.T) {
+	if err := run([]string{"-query", "Q-AGG", "-timeline", "-analyze"}); err != nil {
+		t.Fatalf("timeline+analyze (implied -run): %v", err)
+	}
+	path := t.TempDir() + "/metrics.prom"
+	if err := run([]string{"-query", "Q21", "-run", "-metrics", path}); err != nil {
+		t.Fatalf("-metrics: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE ysmart_engine_jobs_total counter",
+		"ysmart_engine_jobs_total",
+		"ysmart_translator_rule_firings_total",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
 	}
 }

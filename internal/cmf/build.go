@@ -2,6 +2,7 @@ package cmf
 
 import (
 	"fmt"
+	"sort"
 
 	"ysmart/internal/exec"
 	"ysmart/internal/mapreduce"
@@ -223,6 +224,10 @@ func commonMapper(inputIdx int, in CommonInput) mapreduce.Mapper {
 type commonReducer struct {
 	cj   *CommonJob
 	work int64
+	// dispatch accumulates cumulative per-operator row counts across all key
+	// groups; the engine snapshots it around a job to report the per-job
+	// delta (see mapreduce.DispatchReporter).
+	dispatch map[string]*mapreduce.OpDispatch
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -251,11 +256,12 @@ func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) 
 			}
 		}
 	}
-	results, work, err := evalGraph(cj.Ops, keyRow, streams)
+	results, stats, err := evalGraph(cj.Ops, keyRow, streams)
 	if err != nil {
 		return err
 	}
-	cr.work += work
+	cr.work += stats.Work
+	cr.record(stats)
 	for _, out := range cj.Outputs {
 		for _, r := range results[out.Op] {
 			emit(TagLine(out.Tag, exec.EncodeRow(r)))
@@ -266,6 +272,35 @@ func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) 
 
 // ReduceWork implements mapreduce.ReduceWorkReporter.
 func (cr *commonReducer) ReduceWork() int64 { return cr.work }
+
+// record folds one key group's per-operator accounting into the cumulative
+// dispatch counts.
+func (cr *commonReducer) record(stats evalStats) {
+	if cr.dispatch == nil {
+		cr.dispatch = make(map[string]*mapreduce.OpDispatch, len(cr.cj.Ops))
+	}
+	for _, op := range cr.cj.Ops {
+		name := op.Name()
+		d, ok := cr.dispatch[name]
+		if !ok {
+			d = &mapreduce.OpDispatch{Op: name}
+			cr.dispatch[name] = d
+		}
+		d.InRows += stats.InRows[name]
+		d.OutRows += stats.OutRows[name]
+	}
+}
+
+// DispatchCounts implements mapreduce.DispatchReporter: cumulative per-
+// operator row counts sorted by operator name.
+func (cr *commonReducer) DispatchCounts() []mapreduce.OpDispatch {
+	out := make([]mapreduce.OpDispatch, 0, len(cr.dispatch))
+	for _, d := range cr.dispatch {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Op < out[k].Op })
+	return out
+}
 
 // buildCombiner wires map-side partial aggregation for a single-aggregation
 // job (paper §I footnote 2 — the optimization that makes Hive competitive

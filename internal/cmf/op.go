@@ -398,22 +398,34 @@ func (s *SortOp) Eval(_ exec.Row, inputs [][]exec.Row) ([]exec.Row, error) {
 // Graph evaluation
 // ---------------------------------------------------------------------------
 
+// evalStats is the accounting of one evalGraph invocation: the billable
+// work (rows consumed by relational operators — the quantity the cost model
+// charges for the common reducer "executing more lines of code" than a
+// single-operation reducer, paper §VII.C) plus per-operator in/out row
+// counts the observability layer reports as dispatch counts.
+type evalStats struct {
+	Work    int64
+	InRows  map[string]int64
+	OutRows map[string]int64
+}
+
 // evalGraph runs the operators over one key group. streams maps stream ID
-// to its rows. It returns each operator's result rows by name, plus the
-// total work (rows consumed across all operators) — the quantity the cost
-// model charges for the common reducer "executing more lines of code" than
-// a single-operation reducer (paper §VII.C).
-func evalGraph(ops []Op, key exec.Row, streams map[int][]exec.Row) (map[string][]exec.Row, int64, error) {
+// to its rows. It returns each operator's result rows by name plus the
+// invocation's accounting.
+func evalGraph(ops []Op, key exec.Row, streams map[int][]exec.Row) (map[string][]exec.Row, evalStats, error) {
+	stats := evalStats{
+		InRows:  make(map[string]int64, len(ops)),
+		OutRows: make(map[string]int64, len(ops)),
+	}
 	byName := make(map[string]Op, len(ops))
 	for _, op := range ops {
 		if _, dup := byName[op.Name()]; dup {
-			return nil, 0, fmt.Errorf("duplicate op %q", op.Name())
+			return nil, stats, fmt.Errorf("duplicate op %q", op.Name())
 		}
 		byName[op.Name()] = op
 	}
 	results := make(map[string][]exec.Row, len(ops))
 	state := make(map[string]int, len(ops)) // 1 visiting, 2 done
-	var work int64
 
 	var eval func(name string) error
 	eval = func(name string) error {
@@ -439,12 +451,13 @@ func evalGraph(ops []Op, key exec.Row, streams map[int][]exec.Row) (map[string][
 			} else {
 				inputs[i] = streams[s.Stream]
 			}
+			stats.InRows[name] += int64(len(inputs[i]))
 			// Only relational operators count as work: chain filters and
 			// projections are the column-level plumbing a one-to-one
 			// translation runs (uncounted) in its map phases.
 			switch op.(type) {
 			case *JoinOp, *AggOp, *SortOp:
-				work += int64(len(inputs[i]))
+				stats.Work += int64(len(inputs[i]))
 			}
 		}
 		rows, err := op.Eval(key, inputs)
@@ -452,13 +465,14 @@ func evalGraph(ops []Op, key exec.Row, streams map[int][]exec.Row) (map[string][
 			return err
 		}
 		results[op.Name()] = rows
+		stats.OutRows[name] += int64(len(rows))
 		state[name] = 2
 		return nil
 	}
 	for _, op := range ops {
 		if err := eval(op.Name()); err != nil {
-			return nil, 0, err
+			return nil, stats, err
 		}
 	}
-	return results, work, nil
+	return results, stats, nil
 }

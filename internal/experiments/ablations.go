@@ -19,6 +19,10 @@ type AblationRow struct {
 	Baseline int // jobs of the full system
 	Time     float64
 	BaseTime float64
+	// Run and BaseRun carry the full breakdowns of the ablated and full
+	// systems (used by the -json bench output).
+	Run     Run
+	BaseRun Run
 }
 
 // AblationsResult collects the design-choice ablations DESIGN.md calls out
@@ -81,6 +85,8 @@ func Ablations(w *Workload) (*AblationsResult, error) {
 		Detail: "Q-CSA reads clicks once per merged stream instead of once",
 		Jobs:   jobs, Baseline: baseJobs,
 		Time: noShare.TotalTime(), BaseTime: base.TotalTime(),
+		Run:     runFromStats("Q-CSA", "shared-scan-off", noShare),
+		BaseRun: runFromStats("Q-CSA", "ysmart", base),
 	})
 
 	// 2. Combiner off (Q-AGG).
@@ -97,6 +103,8 @@ func Ablations(w *Workload) (*AblationsResult, error) {
 		Detail: "Q-AGG ships one pair per click instead of per-task partials",
 		Jobs:   jobs, Baseline: aggBaseJobs,
 		Time: noComb.TotalTime(), BaseTime: aggBase.TotalTime(),
+		Run:     runFromStats("Q-AGG", "combiner-off", noComb),
+		BaseRun: runFromStats("Q-AGG", "ysmart", aggBase),
 	})
 
 	// 3. Wrong partition-key candidate (Q-CSA).
@@ -119,6 +127,8 @@ func Ablations(w *Workload) (*AblationsResult, error) {
 		Detail: "Q-CSA aggregations keyed on timestamps: job-flow correlations vanish",
 		Jobs:   jobs, Baseline: baseJobs,
 		Time: badPK.TotalTime(), BaseTime: base.TotalTime(),
+		Run:     runFromStats("Q-CSA", "pk-heuristic-off", badPK),
+		BaseRun: runFromStats("Q-CSA", "ysmart", base),
 	})
 
 	return out, nil

@@ -22,10 +22,18 @@ type Run struct {
 	System string
 	Jobs   []JobPhase
 	Total  float64
+	// ScanBytes and ShuffleBytes total the chain's raw table-scan volume and
+	// shuffle traffic — the counters the paper's analysis tracks per system.
+	ScanBytes    int64
+	ShuffleBytes int64
 }
 
 func runFromStats(query, system string, stats *mapreduce.ChainStats) Run {
-	r := Run{Query: query, System: system, Total: stats.TotalTime()}
+	r := Run{
+		Query: query, System: system, Total: stats.TotalTime(),
+		ScanBytes:    stats.TotalMapInputBytes(),
+		ShuffleBytes: stats.TotalShuffleBytes(),
+	}
 	for _, j := range stats.Jobs {
 		r.Jobs = append(r.Jobs, JobPhase{
 			Name:   j.Name,
@@ -239,6 +247,10 @@ type Fig11Cell struct {
 	Compress bool
 	YSmart   float64
 	Hive     float64
+	// YSmartRun and HiveRun carry the full per-job breakdowns behind the two
+	// totals (used by the -json bench output).
+	YSmartRun Run
+	HiveRun   Run
 }
 
 // Fig11Result holds panels (a)-(c) plus the Q-CSA panel (d).
@@ -276,7 +288,10 @@ func Fig11(w *Workload) (*Fig11Result, error) {
 				}
 				out.Cells = append(out.Cells, Fig11Cell{
 					Query: query, Workers: workers, Compress: compress,
-					YSmart: ys.TotalTime(), Hive: hive.TotalTime(),
+					YSmart:    ys.TotalTime(),
+					Hive:      hive.TotalTime(),
+					YSmartRun: runFromStats(query, "ysmart", ys),
+					HiveRun:   runFromStats(query, "hive", hive),
 				})
 			}
 		}
@@ -383,6 +398,10 @@ type Fig13Result struct {
 	YSmart  [2]float64 // average of three instances
 	Hive    [2]float64
 	Speedup [2]float64
+	// YSmartRuns and HiveRuns keep each instance's full breakdown behind the
+	// averages (used by the -json bench output).
+	YSmartRuns [2][3]Run
+	HiveRuns   [2][3]Run
 }
 
 // Fig13 reproduces §VII.F.2: Q18 and Q21 on the busy cluster. The paper's
@@ -400,6 +419,7 @@ func Fig13(w *Workload) (*Fig13Result, error) {
 				return nil, err
 			}
 			ysSum += ys.TotalTime()
+			out.YSmartRuns[qi][i] = runFromStats(query, fmt.Sprintf("ysmart-%d", i+1), ys)
 
 			cluster = mapreduce.FacebookCluster(int64(400 + 10*qi + i))
 			cluster.DataScale = w.TPCHScale(tpchFacebookByte)
@@ -408,6 +428,7 @@ func Fig13(w *Workload) (*Fig13Result, error) {
 				return nil, err
 			}
 			hiveSum += hive.TotalTime()
+			out.HiveRuns[qi][i] = runFromStats(query, fmt.Sprintf("hive-%d", i+1), hive)
 		}
 		out.YSmart[qi] = ysSum / 3
 		out.Hive[qi] = hiveSum / 3

@@ -13,6 +13,10 @@ type ScalingPoint struct {
 	Workers int
 	YSmart  float64
 	Hive    float64
+	// YSmartRun and HiveRun carry the full breakdowns behind the two totals
+	// (used by the -json bench output).
+	YSmartRun Run
+	HiveRun   Run
 }
 
 // ScalingResult extends Fig. 11's two cluster sizes into a curve: per-node
@@ -45,9 +49,11 @@ func ScalingSweep(w *Workload) (*ScalingResult, error) {
 			return nil, err
 		}
 		out.Points = append(out.Points, ScalingPoint{
-			Workers: workers,
-			YSmart:  ys.TotalTime(),
-			Hive:    hive.TotalTime(),
+			Workers:   workers,
+			YSmart:    ys.TotalTime(),
+			Hive:      hive.TotalTime(),
+			YSmartRun: runFromStats("Q21", "ysmart", ys),
+			HiveRun:   runFromStats("Q21", "hive", hive),
 		})
 	}
 	return out, nil

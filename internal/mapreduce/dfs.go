@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"ysmart/internal/obs"
 )
 
 // DFS is the simulated distributed file system. Files are ordered lists of
@@ -11,11 +13,55 @@ import (
 type DFS struct {
 	mu    sync.RWMutex
 	files map[string][]string
+
+	tracer  obs.Tracer
+	metrics *obs.Registry
+	clock   func() float64
 }
 
 // NewDFS returns an empty file system.
 func NewDFS() *DFS {
-	return &DFS{files: make(map[string][]string)}
+	return &DFS{files: make(map[string][]string), tracer: obs.Nop}
+}
+
+// Instrument attaches a tracer and metrics registry. Read and write
+// instants are stamped with clock() — the engine passes its simulated
+// clock, so DFS events line up with job spans. A nil tracer restores the
+// no-op default.
+func (d *DFS) Instrument(t obs.Tracer, r *obs.Registry, clock func() float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t == nil {
+		t = obs.Nop
+	}
+	d.tracer = t
+	d.metrics = r
+	d.clock = clock
+}
+
+// now returns the instrumented clock reading (0 before Instrument).
+func (d *DFS) now() float64 {
+	if d.clock == nil {
+		return 0
+	}
+	return d.clock()
+}
+
+// observe records one DFS access on the tracer and registry.
+func (d *DFS) observe(op, path string, lines []string) {
+	traced := d.tracer.Enabled()
+	if !traced && d.metrics == nil {
+		return
+	}
+	bytes := linesBytes(lines)
+	if traced {
+		d.tracer.Emit(obs.InstantEvent("dfs", "dfs."+op, "dfs", d.now(),
+			obs.F("path", path), obs.F("records", int64(len(lines))), obs.F("bytes", bytes)))
+	}
+	if d.metrics != nil {
+		d.metrics.Add("ysmart_dfs_"+op+"s_total", 1)
+		d.metrics.Add("ysmart_dfs_"+op+"_bytes_total", float64(bytes))
+	}
 }
 
 // FileNotFoundError reports a read of a missing path.
@@ -33,6 +79,7 @@ func (d *DFS) Write(path string, lines []string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.files[path] = cp
+	d.observe("write", path, cp)
 }
 
 // Append adds lines to path, creating it if absent.
@@ -40,6 +87,7 @@ func (d *DFS) Append(path string, lines []string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.files[path] = append(d.files[path], lines...)
+	d.observe("write", path, lines)
 }
 
 // Read returns the lines of path. The returned slice is shared; callers
@@ -51,6 +99,7 @@ func (d *DFS) Read(path string) ([]string, error) {
 	if !ok {
 		return nil, &FileNotFoundError{Path: path}
 	}
+	d.observe("read", path, lines)
 	return lines, nil
 }
 

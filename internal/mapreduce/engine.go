@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"ysmart/internal/obs"
 )
 
 // Engine executes jobs against a DFS and costs them against a cluster
@@ -14,6 +16,13 @@ type Engine struct {
 	dfs     *DFS
 	cluster *Cluster
 	gapRNG  *rand.Rand
+
+	tracer  obs.Tracer
+	metrics *obs.Registry
+	// simNow is the simulated clock: the end time of everything executed so
+	// far on this engine. Span events are stamped with it, so traces from
+	// successive chains on one engine share a single timeline.
+	simNow float64
 }
 
 // NewEngine builds an engine. The cluster must validate.
@@ -25,6 +34,7 @@ func NewEngine(dfs *DFS, cluster *Cluster) (*Engine, error) {
 		dfs:     dfs,
 		cluster: cluster,
 		gapRNG:  rand.New(rand.NewSource(cluster.Contention.Seed)),
+		tracer:  obs.Nop,
 	}, nil
 }
 
@@ -34,6 +44,21 @@ func (e *Engine) DFS() *DFS { return e.dfs }
 // Cluster returns the engine's cluster model.
 func (e *Engine) Cluster() *Cluster { return e.cluster }
 
+// Instrument attaches a tracer and metrics registry to the engine and its
+// DFS. Execution and counters are unaffected — tracing only observes. A
+// nil tracer restores the no-op default.
+func (e *Engine) Instrument(t obs.Tracer, r *obs.Registry) {
+	if t == nil {
+		t = obs.Nop
+	}
+	e.tracer = t
+	e.metrics = r
+	e.dfs.Instrument(t, r, e.Now)
+}
+
+// Now returns the simulated clock in seconds.
+func (e *Engine) Now() float64 { return e.simNow }
+
 // RunChain executes jobs sequentially in dependency order (the way Hive
 // drove its job chains) and returns per-job stats in execution order.
 func (e *Engine) RunChain(jobs []*Job) (*ChainStats, error) {
@@ -41,16 +66,35 @@ func (e *Engine) RunChain(jobs []*Job) (*ChainStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	chainStart := e.simNow
 	stats := &ChainStats{}
 	for i, j := range ordered {
+		var gap float64
+		if i > 0 {
+			gap = e.nextGap()
+		}
+		if gap > 0 {
+			if e.tracer.Enabled() {
+				e.tracer.Emit(obs.SpanEvent("gap", "gap", "job:"+j.Name, e.simNow, gap))
+			}
+			e.simNow += gap
+		}
 		js, err := e.RunJob(j)
 		if err != nil {
 			return nil, fmt.Errorf("job %s: %w", j.Name, err)
 		}
-		if i > 0 {
-			js.GapBefore = e.nextGap()
-		}
+		js.GapBefore = gap
 		stats.Jobs = append(stats.Jobs, js)
+	}
+	if e.tracer.Enabled() {
+		e.tracer.Emit(obs.SpanEvent("chain", fmt.Sprintf("chain(%d jobs)", len(ordered)),
+			"driver", chainStart, e.simNow-chainStart,
+			obs.F("jobs", int64(len(ordered))),
+			obs.F("map_input_bytes", stats.TotalMapInputBytes()),
+			obs.F("shuffle_bytes", stats.TotalShuffleBytes())))
+	}
+	if e.metrics != nil {
+		e.metrics.Add("ysmart_engine_chains_total", 1)
 	}
 	return stats, nil
 }
@@ -105,8 +149,20 @@ type kv struct{ key, value string }
 
 // RunJob executes a single job: map over every input, optional combine per
 // map task, shuffle/group, reduce, and write the output file. It returns
-// the job's counters and simulated times.
+// the job's counters and simulated times, and advances the simulated clock
+// past the job (emitting span events when a tracer is attached).
 func (e *Engine) RunJob(j *Job) (*JobStats, error) {
+	jobStart := e.simNow
+	stats, err := e.runJob(j)
+	if err != nil {
+		return nil, err
+	}
+	e.finishJob(j, stats, jobStart)
+	return stats, nil
+}
+
+// runJob is the execution body of RunJob, free of any clock/trace concerns.
+func (e *Engine) runJob(j *Job) (*JobStats, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,6 +268,10 @@ func (e *Engine) RunJob(j *Job) (*JobStats, error) {
 	if wr, ok := j.Reducer.(ReduceWorkReporter); ok {
 		workStart = wr.ReduceWork()
 	}
+	var dispatchStart []OpDispatch
+	if dr, ok := j.Reducer.(DispatchReporter); ok {
+		dispatchStart = dr.DispatchCounts()
+	}
 	var outLines []string
 	emitLine := func(line string) { outLines = append(outLines, line) }
 	for _, k := range keys {
@@ -224,6 +284,9 @@ func (e *Engine) RunJob(j *Job) (*JobStats, error) {
 		if delta := wr.ReduceWork() - workStart; delta > stats.ReduceWorkRecords {
 			stats.ReduceWorkRecords = delta
 		}
+	}
+	if dr, ok := j.Reducer.(DispatchReporter); ok {
+		stats.Dispatch = dispatchDelta(dispatchStart, dr.DispatchCounts())
 	}
 	e.dfs.Write(j.Output, outLines)
 	stats.ReduceOutputRecords = int64(len(outLines))
@@ -319,6 +382,10 @@ func (e *Engine) costJob(j *Job, s *JobStats, preCombineRecords, preCombineBytes
 	mapCPU := (inRecords*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapTime = (math.Max(mapDisk, mapCPU)+compressCPU/cl.mapSlots())*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
+	s.MapBottleneck = "disk"
+	if mapCPU > mapDisk {
+		s.MapBottleneck = "cpu"
+	}
 
 	// Shuffle.
 	shuffleBytes := float64(s.ShuffleBytes) * scale
@@ -341,6 +408,10 @@ func (e *Engine) costJob(j *Job, s *JobStats, preCombineRecords, preCombineBytes
 	redCPU := redRecords * cm.ReduceCPUPerRecord / cl.reduceSlots()
 	redWaves := math.Ceil(float64(s.NumReduceTasks) / cl.reduceSlots())
 	s.ReduceTime = math.Max(redDisk+redNet, redCPU)*cl.loadFactor()*cl.reworkFactor() + redWaves*cm.TaskOverhead
+	s.ReduceBottleneck = "disk+net"
+	if redCPU > redDisk+redNet {
+		s.ReduceBottleneck = "cpu"
+	}
 
 	s.StartupTime = cm.JobStartup
 }
@@ -363,5 +434,9 @@ func (e *Engine) costMapOnly(j *Job, s *JobStats, preCombineRecords, preCombineB
 	mapCPU := inRecords * cm.MapCPUPerRecord / cl.mapSlots()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapTime = math.Max(mapDisk+mapNet, mapCPU)*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
+	s.MapBottleneck = "disk+net"
+	if mapCPU > mapDisk+mapNet {
+		s.MapBottleneck = "cpu"
+	}
 	s.StartupTime = cm.JobStartup
 }

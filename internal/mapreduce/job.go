@@ -53,6 +53,24 @@ type ReduceWorkReporter interface {
 	ReduceWork() int64
 }
 
+// OpDispatch counts the rows one merged operator consumed and produced
+// inside a common reducer — the per-merged-reducer dispatch accounting the
+// observability layer reports per job.
+type OpDispatch struct {
+	Op      string
+	InRows  int64
+	OutRows int64
+}
+
+// DispatchReporter is optionally implemented by reducers that route each
+// key group through a graph of merged operators (the CMF common reducer).
+// DispatchCounts returns cumulative per-operator row counts sorted by
+// operator name; the engine records the delta observed across a job in
+// JobStats.Dispatch.
+type DispatchReporter interface {
+	DispatchCounts() []OpDispatch
+}
+
 // Combiner optionally folds a key's map-side values before the shuffle —
 // Hive's map-phase hash aggregation (paper §I footnote 2) is modelled this
 // way. It must be algebraically compatible with the job's reducer.

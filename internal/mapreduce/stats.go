@@ -3,6 +3,8 @@ package mapreduce
 import (
 	"fmt"
 	"strings"
+
+	"ysmart/internal/obs"
 )
 
 // JobStats records the measured counters and simulated times of one job.
@@ -28,6 +30,12 @@ type JobStats struct {
 	NumReduceTasks      int
 	MapOnly             bool
 
+	// Dispatch holds per-operator row counts when the job's reducer is a
+	// common reducer running a merged operator graph (see DispatchReporter).
+	// It is collected on every run, traced or not, so instrumentation never
+	// changes observable stats.
+	Dispatch []OpDispatch
+
 	// Simulated wall-clock seconds.
 	StartupTime float64
 	MapTime     float64
@@ -36,6 +44,12 @@ type JobStats struct {
 	// GapBefore is contention-induced scheduling delay charged before the
 	// job started (zero on isolated clusters).
 	GapBefore float64
+
+	// MapBottleneck and ReduceBottleneck name the resource that bounded each
+	// phase under the throughput model ("disk", "cpu", or "disk+net") —
+	// cost-model provenance surfaced in traces and explain -analyze.
+	MapBottleneck    string
+	ReduceBottleneck string
 }
 
 // TotalTime is the job's end-to-end simulated duration including the
@@ -50,7 +64,7 @@ func (s *JobStats) ReducePhaseTime() float64 { return s.ShuffleTime + s.ReduceTi
 
 func (s *JobStats) String() string {
 	return fmt.Sprintf("%s: map %.0fs (%d tasks, in %s, out %s) reduce %.0fs (%d tasks, %d groups) total %.0fs",
-		s.Name, s.MapTime, s.NumMapTasks, fmtBytes(s.MapInputBytes), fmtBytes(s.MapOutputBytes),
+		s.Name, s.MapTime, s.NumMapTasks, obs.FormatBytes(s.MapInputBytes), obs.FormatBytes(s.MapOutputBytes),
 		s.ReducePhaseTime(), s.NumReduceTasks, s.ReduceGroups, s.TotalTime())
 }
 
@@ -100,15 +114,6 @@ func (c *ChainStats) String() string {
 	return sb.String()
 }
 
-func fmtBytes(n int64) string {
-	switch {
-	case n >= 1<<30:
-		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
-	case n >= 1<<20:
-		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
-	default:
-		return fmt.Sprintf("%dB", n)
-	}
-}
+// FormatBytes is re-exported from the observability layer so existing
+// callers keep one canonical byte formatter.
+var FormatBytes = obs.FormatBytes

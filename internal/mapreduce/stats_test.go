@@ -63,8 +63,8 @@ func TestFmtBytes(t *testing.T) {
 		2 << 30:     "2.00GB",
 		1<<30 + 512: "1.00GB",
 	} {
-		if got := fmtBytes(in); got != want {
-			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ysmart/internal/obs"
+)
+
+// maxTracedTasks caps per-task span emission. Jobs with more map or reduce
+// tasks than this get a single "tasks-elided" instant per phase instead, so
+// traces of large scaling sweeps stay loadable in Perfetto.
+const maxTracedTasks = 256
+
+// finishJob advances the simulated clock past a completed job and, when
+// instrumented, emits its span hierarchy and records its counters. It runs
+// on every job so traced and untraced executions share one clock path.
+func (e *Engine) finishJob(j *Job, s *JobStats, start float64) {
+	end := start + s.StartupTime + s.MapTime + s.ShuffleTime + s.ReduceTime
+	if e.tracer.Enabled() {
+		e.emitJobTrace(j, s, start)
+	}
+	if e.metrics != nil {
+		e.recordJobMetrics(s)
+	}
+	e.simNow = end
+}
+
+// emitJobTrace emits the job ⊇ phase ⊇ wave ⊇ task span hierarchy plus the
+// DFS replication and CMF dispatch instants for one job.
+func (e *Engine) emitJobTrace(j *Job, s *JobStats, start float64) {
+	track := "job:" + j.Name
+	total := s.StartupTime + s.MapTime + s.ShuffleTime + s.ReduceTime
+	e.tracer.Emit(obs.SpanEvent("job", j.Name, track, start, total,
+		obs.F("map_tasks", int64(s.NumMapTasks)),
+		obs.F("reduce_tasks", int64(s.NumReduceTasks)),
+		obs.F("map_input_records", s.MapInputRecords),
+		obs.F("map_input_bytes", s.MapInputBytes),
+		obs.F("map_output_records", s.MapOutputRecords),
+		obs.F("shuffle_bytes", s.ShuffleBytes),
+		obs.F("reduce_groups", s.ReduceGroups),
+		obs.F("output_records", s.ReduceOutputRecords),
+		obs.F("output_bytes", s.ReduceOutputBytes)))
+
+	t := start
+	if s.StartupTime > 0 {
+		e.tracer.Emit(obs.SpanEvent("phase", "startup", track, t, s.StartupTime))
+		t += s.StartupTime
+	}
+	e.tracer.Emit(obs.SpanEvent("phase", "map", track, t, s.MapTime,
+		obs.F("tasks", int64(s.NumMapTasks)),
+		obs.F("bottleneck", s.MapBottleneck)))
+	e.emitWaves(track, "map", t, s.MapTime, s.NumMapTasks, int(e.cluster.mapSlots()))
+	t += s.MapTime
+
+	if !s.MapOnly {
+		e.tracer.Emit(obs.SpanEvent("phase", "shuffle", track, t, s.ShuffleTime,
+			obs.F("bytes", s.ShuffleBytes)))
+		t += s.ShuffleTime
+		e.tracer.Emit(obs.SpanEvent("phase", "reduce", track, t, s.ReduceTime,
+			obs.F("tasks", int64(s.NumReduceTasks)),
+			obs.F("groups", s.ReduceGroups),
+			obs.F("bottleneck", s.ReduceBottleneck)))
+		e.emitWaves(track, "reduce", t, s.ReduceTime, s.NumReduceTasks, int(e.cluster.reduceSlots()))
+		t += s.ReduceTime
+	}
+
+	// Output replication to the DFS completes with the final phase.
+	if repl := e.cluster.Cost.HDFSReplication - 1; repl > 0 {
+		e.tracer.Emit(obs.InstantEvent("dfs", "dfs.replicate", "dfs", t,
+			obs.F("path", j.Output),
+			obs.F("replicas", int64(repl)),
+			obs.F("bytes", s.ReduceOutputBytes)))
+	}
+
+	// Per-merged-operator dispatch counts from a CMF common reducer.
+	for _, d := range s.Dispatch {
+		e.tracer.Emit(obs.InstantEvent("cmf", "cmf.dispatch", track, t,
+			obs.F("op", d.Op),
+			obs.F("in_rows", d.InRows),
+			obs.F("out_rows", d.OutRows)))
+	}
+}
+
+// emitWaves emits wave spans (and task spans, when few enough) for one
+// phase. Task slots fill in waves of `slots`; each wave gets an equal share
+// of the phase time, matching how the cost model charges per-wave overhead.
+func (e *Engine) emitWaves(track, phase string, start, dur float64, tasks, slots int) {
+	if tasks <= 0 || dur <= 0 {
+		return
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	waves := int(math.Ceil(float64(tasks) / float64(slots)))
+	waveDur := dur / float64(waves)
+	per := tasks / waves
+	rem := tasks % waves
+	taskIdx := 0
+	for w := 0; w < waves; w++ {
+		inWave := per
+		if w < rem {
+			inWave++
+		}
+		wStart := start + float64(w)*waveDur
+		e.tracer.Emit(obs.SpanEvent("wave", fmt.Sprintf("%s-wave-%d", phase, w), track,
+			wStart, waveDur, obs.F("tasks", int64(inWave))))
+		if tasks > maxTracedTasks {
+			continue
+		}
+		for i := 0; i < inWave; i++ {
+			e.tracer.Emit(obs.SpanEvent("task", fmt.Sprintf("%s-task-%d", phase, taskIdx), track,
+				wStart, waveDur))
+			taskIdx++
+		}
+	}
+	if tasks > maxTracedTasks {
+		e.tracer.Emit(obs.InstantEvent("task", "tasks-elided", track, start,
+			obs.F("phase", phase), obs.F("tasks", int64(tasks))))
+	}
+}
+
+// recordJobMetrics adds one job's counters to the registry.
+func (e *Engine) recordJobMetrics(s *JobStats) {
+	m := e.metrics
+	m.Add("ysmart_engine_jobs_total", 1)
+	m.Add("ysmart_engine_map_tasks_total", float64(s.NumMapTasks))
+	m.Add("ysmart_engine_reduce_tasks_total", float64(s.NumReduceTasks))
+	m.Add("ysmart_engine_map_input_records_total", float64(s.MapInputRecords))
+	m.Add("ysmart_engine_map_input_bytes_total", float64(s.MapInputBytes))
+	m.Add("ysmart_engine_map_output_records_total", float64(s.MapOutputRecords))
+	m.Add("ysmart_engine_shuffle_bytes_total", float64(s.ShuffleBytes))
+	m.Add("ysmart_engine_reduce_groups_total", float64(s.ReduceGroups))
+	m.Add("ysmart_engine_reduce_output_records_total", float64(s.ReduceOutputRecords))
+	m.Add("ysmart_engine_reduce_output_bytes_total", float64(s.ReduceOutputBytes))
+	m.Add("ysmart_engine_sim_seconds_total", s.StartupTime+s.MapTime+s.ShuffleTime+s.ReduceTime)
+	m.Add("ysmart_engine_phase_seconds_total", s.StartupTime, "phase", "startup")
+	m.Add("ysmart_engine_phase_seconds_total", s.MapTime, "phase", "map")
+	m.Add("ysmart_engine_phase_seconds_total", s.ShuffleTime, "phase", "shuffle")
+	m.Add("ysmart_engine_phase_seconds_total", s.ReduceTime, "phase", "reduce")
+	for _, d := range s.Dispatch {
+		m.Add("ysmart_cmf_op_input_rows_total", float64(d.InRows), "op", d.Op)
+		m.Add("ysmart_cmf_op_output_rows_total", float64(d.OutRows), "op", d.Op)
+	}
+}
+
+// dispatchDelta subtracts a before-snapshot of cumulative dispatch counts
+// from an after-snapshot, dropping operators that saw no rows this job.
+func dispatchDelta(before, after []OpDispatch) []OpDispatch {
+	prev := make(map[string]OpDispatch, len(before))
+	for _, d := range before {
+		prev[d.Op] = d
+	}
+	var out []OpDispatch
+	for _, d := range after {
+		p := prev[d.Op]
+		delta := OpDispatch{Op: d.Op, InRows: d.InRows - p.InRows, OutRows: d.OutRows - p.OutRows}
+		if delta.InRows != 0 || delta.OutRows != 0 {
+			out = append(out, delta)
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Op < out[k].Op })
+	return out
+}

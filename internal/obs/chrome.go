@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// ChromeTrace renders events in the Chrome trace-event JSON object format
+// (the `{"traceEvents":[...]}` wrapper), loadable in Perfetto and
+// chrome://tracing. Simulated seconds map to trace microseconds. Tracks
+// become threads of a single "simulated cluster" process, numbered in
+// first-appearance order, so the output is deterministic for a
+// deterministic event stream.
+func ChromeTrace(events []Event) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteString("\n")
+		buf.WriteString(line)
+	}
+
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"simulated cluster"}}`)
+
+	// Assign tids in first-appearance order and name the threads.
+	tidOf := make(map[string]int)
+	for _, e := range events {
+		if _, ok := tidOf[e.Track]; ok {
+			continue
+		}
+		tid := len(tidOf) + 1
+		tidOf[e.Track] = tid
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			tid, jsonValue(e.Track)))
+		emit(fmt.Sprintf(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`,
+			tid, tid))
+	}
+
+	for _, e := range events {
+		var line bytes.Buffer
+		fmt.Fprintf(&line, `{"name":%s,"cat":%s,`, jsonValue(e.Name), jsonValue(e.Cat))
+		switch e.Kind {
+		case Span:
+			fmt.Fprintf(&line, `"ph":"X","ts":%s,"dur":%s,`, usec(e.Time), usec(e.Dur))
+		default:
+			fmt.Fprintf(&line, `"ph":"i","s":"t","ts":%s,`, usec(e.Time))
+		}
+		fmt.Fprintf(&line, `"pid":1,"tid":%d`, tidOf[e.Track])
+		if len(e.Args) > 0 {
+			line.WriteString(`,"args":{`)
+			for i, f := range e.Args {
+				if i > 0 {
+					line.WriteByte(',')
+				}
+				fmt.Fprintf(&line, `%s:%s`, jsonValue(f.Key), jsonValue(f.Value))
+			}
+			line.WriteByte('}')
+		}
+		line.WriteByte('}')
+		emit(line.String())
+	}
+	buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return buf.Bytes()
+}
+
+// usec renders simulated seconds as trace microseconds with fixed
+// precision, so output bytes are stable across runs and platforms.
+func usec(seconds float64) string {
+	return strconv.FormatFloat(seconds*1e6, 'f', 3, 64)
+}
+
+// jsonValue marshals one argument value; values json cannot encode fall
+// back to their fmt rendering.
+func jsonValue(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return string(b)
+}

@@ -1,0 +1,18 @@
+package obs
+
+import "fmt"
+
+// FormatBytes renders a byte count with a binary-unit suffix (the shared
+// human formatting used by stats strings, the CLI and the exporters).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

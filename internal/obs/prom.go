@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one `# TYPE` header per metric family, then `name{labels} value`
+// lines), sorted by name then labels so output is deterministic.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	lastFamily := ""
+	for _, m := range r.Snapshot() {
+		if m.Name != lastFamily {
+			kind := "counter"
+			if m.Kind == GaugeKind {
+				kind = "gauge"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			m.Name, m.LabelString(), strconv.FormatFloat(m.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

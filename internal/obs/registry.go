@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricKind distinguishes counters from gauges.
+type MetricKind int
+
+// Metric kinds.
+const (
+	// CounterKind is a monotonically accumulated value.
+	CounterKind MetricKind = iota
+	// GaugeKind is a last-write-wins value.
+	GaugeKind
+)
+
+// Metric is one named value with optional labels.
+type Metric struct {
+	Name string
+	// Labels are sorted key/value pairs.
+	Labels [][2]string
+	Kind   MetricKind
+	Value  float64
+}
+
+// LabelString renders the labels as `{k="v",...}` (empty for none).
+func (m Metric) LabelString() string {
+	if len(m.Labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(m.Labels))
+	for i, kv := range m.Labels {
+		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Registry accumulates named counters and gauges. It is safe for
+// concurrent use. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*Metric)}
+}
+
+// pairLabels turns alternating key,value strings into sorted pairs;
+// a trailing unpaired key is dropped.
+func pairLabels(labels []string) [][2]string {
+	n := len(labels) / 2
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = [2]string{labels[2*i], labels[2*i+1]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func (r *Registry) metric(name string, kind MetricKind, labels []string) *Metric {
+	pairs := pairLabels(labels)
+	key := name
+	for _, kv := range pairs {
+		key += "\x00" + kv[0] + "\x01" + kv[1]
+	}
+	m, ok := r.metrics[key]
+	if !ok {
+		m = &Metric{Name: name, Labels: pairs, Kind: kind}
+		r.metrics[key] = m
+	}
+	return m
+}
+
+// Add accumulates delta into the named counter. labels are alternating
+// key,value pairs.
+func (r *Registry) Add(name string, delta float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metric(name, CounterKind, labels).Value += delta
+}
+
+// Set stores v into the named gauge. labels are alternating key,value pairs.
+func (r *Registry) Set(name string, v float64, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metric(name, GaugeKind, labels)
+	m.Kind = GaugeKind
+	m.Value = v
+}
+
+// Value returns the current value of a metric (0 if absent).
+func (r *Registry) Value(name string, labels ...string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pairs := pairLabels(labels)
+	key := name
+	for _, kv := range pairs {
+		key += "\x00" + kv[0] + "\x01" + kv[1]
+	}
+	if m, ok := r.metrics[key]; ok {
+		return m.Value
+	}
+	return 0
+}
+
+// Snapshot returns every metric sorted by name, then label string — a
+// deterministic order for exporters and tests.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		cp := *m
+		cp.Labels = append([][2]string(nil), m.Labels...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].LabelString() < out[j].LabelString()
+	})
+	return out
+}

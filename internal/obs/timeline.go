@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders the run's job spans as an ASCII Gantt chart, one row per
+// job, scaled to width columns. Phases are drawn with distinct characters
+// (gap '~', startup ':', map 'M', shuffle 'S', reduce 'R'), so task waves,
+// phase overlapped-ness and scheduling gaps are visible in a terminal
+// without leaving the shell.
+func Timeline(events []Event, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var jobs []Event
+	byTrack := make(map[string][]Event) // phase and gap spans per track
+	for _, e := range events {
+		if e.Kind != Span {
+			continue
+		}
+		switch e.Cat {
+		case "job":
+			jobs = append(jobs, e)
+		case "phase", "gap":
+			byTrack[e.Track] = append(byTrack[e.Track], e)
+		}
+	}
+	if len(jobs) == 0 {
+		return "timeline: no job spans recorded\n"
+	}
+
+	origin := jobs[0].Time
+	var end float64
+	for _, j := range jobs {
+		if j.End() > end {
+			end = j.End()
+		}
+		for _, p := range byTrack[j.Track] {
+			if p.Time < origin {
+				origin = p.Time
+			}
+		}
+	}
+	total := end - origin
+	if total <= 0 {
+		total = 1
+	}
+	col := func(t float64) int {
+		c := int((t - origin) / total * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	labelW := 0
+	for _, j := range jobs {
+		if n := len(j.Name); n > labelW {
+			labelW = n
+		}
+	}
+	if labelW > 36 {
+		labelW = 36
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline: %d job(s), %.0fs simulated\n", len(jobs), total)
+	endLabel := fmt.Sprintf("%.0fs", total)
+	dashes := width - 2 - len(endLabel)
+	if dashes < 1 {
+		dashes = 1
+	}
+	fmt.Fprintf(&sb, "%-*s 0s%s%s\n", labelW, "", strings.Repeat("-", dashes), endLabel)
+	for _, j := range jobs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		fill := func(from, to float64, ch byte) {
+			c0, c1 := col(from), col(to)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c1 > width {
+				c1 = width
+			}
+			for c := c0; c < c1; c++ {
+				row[c] = ch
+			}
+		}
+		for _, p := range byTrack[j.Track] {
+			var ch byte
+			switch {
+			case p.Cat == "gap":
+				ch = '~'
+			case p.Name == "startup":
+				ch = ':'
+			case p.Name == "map":
+				ch = 'M'
+			case p.Name == "shuffle":
+				ch = 'S'
+			case p.Name == "reduce":
+				ch = 'R'
+			default:
+				continue
+			}
+			fill(p.Time, p.End(), ch)
+		}
+		name := j.Name
+		if len(name) > labelW {
+			name = name[:labelW-1] + "…"
+		}
+		fmt.Fprintf(&sb, "%-*s %s %6.0fs", labelW, name, row, j.Dur)
+		if v, ok := j.Arg("map_input_bytes").(int64); ok {
+			fmt.Fprintf(&sb, "  in %s", FormatBytes(v))
+		}
+		if v, ok := j.Arg("shuffle_bytes").(int64); ok && v > 0 {
+			fmt.Fprintf(&sb, "  shuffle %s", FormatBytes(v))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("legend: ~ gap  : startup  M map  S shuffle  R reduce\n")
+	return sb.String()
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"ysmart/internal/cmf"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
 )
 
 // DOT renders the translation's job graph in Graphviz dot syntax: one
@@ -12,7 +14,26 @@ import (
 // operators, post-job computations), with inter-job edges for intermediate
 // files. Paste into any dot renderer to get the pictures the paper draws by
 // hand in Fig. 5-7.
-func (t *Translation) DOT() string {
+func (t *Translation) DOT() string { return t.renderDOT(nil) }
+
+// DOTAnalyzed renders the same job graph annotated with post-run counters
+// from a chain execution (explain -analyze): per-job phase times, scan /
+// shuffle / output volumes with bottleneck provenance, per-operator in/out
+// row counts from the common reducer's dispatch accounting, and intermediate
+// file sizes on inter-job edges. Jobs are matched to stats by name, so a
+// partial or reordered stats set degrades to plain DOT labels.
+func (t *Translation) DOTAnalyzed(stats *mapreduce.ChainStats) string {
+	return t.renderDOT(stats)
+}
+
+func (t *Translation) renderDOT(stats *mapreduce.ChainStats) string {
+	statsOf := make(map[string]*mapreduce.JobStats)
+	if stats != nil {
+		for _, js := range stats.Jobs {
+			statsOf[js.Name] = js
+		}
+	}
+
 	var sb strings.Builder
 	sb.WriteString("digraph ysmart {\n")
 	sb.WriteString("  rankdir=BT;\n")
@@ -22,21 +43,25 @@ func (t *Translation) DOT() string {
 		return fmt.Sprintf("j%d_%s", job, sanitizeDot(name))
 	}
 
-	// Map each job's output path to its final node(s) for inter-job edges.
-	outputNode := make(map[string]string) // "path\x00tag" -> node id
+	// Map each job's output path to its final node(s) and producing job for
+	// inter-job edges.
+	outputNode := make(map[string]string) // path -> node id
+	outputJob := make(map[string]string)  // path -> producing job name
 
 	for ji, cj := range t.CommonJobs {
+		jobName := t.Jobs[ji].Name
+		js := statsOf[jobName]
 		if cj == nil { // map-only SP job
-			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"job %d (map-only SP)\";\n", ji, ji+1)
+			fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=\"job %d (map-only SP)%s\";\n", ji, ji+1, jobStatsLabel(js))
 			fmt.Fprintf(&sb, "    j%d_sp [label=\"scan+filter+project\"];\n  }\n", ji)
 			continue
 		}
 		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n", ji)
-		fmt.Fprintf(&sb, "    label=\"job %d: %s\";\n", ji+1, strings.Join(t.Groups[ji], " + "))
+		fmt.Fprintf(&sb, "    label=\"job %d: %s%s\";\n", ji+1, strings.Join(t.Groups[ji], " + "), jobStatsLabel(js))
 
 		// Stream sources (inputs).
 		streamNode := make(map[int]string)
-		for ii, in := range cj.Inputs {
+		for _, in := range cj.Inputs {
 			for _, st := range in.Streams {
 				id := fmt.Sprintf("j%d_s%d", ji, st.ID)
 				streamNode[st.ID] = id
@@ -44,9 +69,21 @@ func (t *Translation) DOT() string {
 				fmt.Fprintf(&sb, "    %s [shape=ellipse, label=\"%s\"];\n", id, label)
 				// Inter-job edge when the input is another job's output.
 				if src, ok := outputNode[in.Path]; ok {
-					fmt.Fprintf(&sb, "  %s -> %s [style=dashed];\n", src, id)
+					edgeLabel := ""
+					if p := statsOf[outputJob[in.Path]]; p != nil {
+						edgeLabel = fmt.Sprintf(" [label=\"%s\"]", obs.FormatBytes(p.ReduceOutputBytes))
+					}
+					fmt.Fprintf(&sb, "  %s -> %s [style=dashed]%s;\n", src, id, edgeLabel)
 				}
-				_ = ii
+			}
+		}
+
+		// Per-operator dispatch counts from the job's common reducer.
+		var dispatchOf map[string]mapreduce.OpDispatch
+		if js != nil && len(js.Dispatch) > 0 {
+			dispatchOf = make(map[string]mapreduce.OpDispatch, len(js.Dispatch))
+			for _, d := range js.Dispatch {
+				dispatchOf[d.Op] = d
 			}
 		}
 
@@ -57,7 +94,11 @@ func (t *Translation) DOT() string {
 			if _, isJoin := op.(*cmf.JoinOp); isJoin {
 				shape = "diamond"
 			}
-			fmt.Fprintf(&sb, "    %s [shape=%s, label=\"%s\"];\n", id, shape, op.Name())
+			label := op.Name()
+			if d, ok := dispatchOf[op.Name()]; ok {
+				label = fmt.Sprintf("%s\\nin %d rows, out %d rows", op.Name(), d.InRows, d.OutRows)
+			}
+			fmt.Fprintf(&sb, "    %s [shape=%s, label=\"%s\"];\n", id, shape, label)
 			for _, src := range op.Sources() {
 				var from string
 				if src.IsOp() {
@@ -72,10 +113,28 @@ func (t *Translation) DOT() string {
 
 		for _, out := range cj.Outputs {
 			outputNode[cj.Output] = opNode(ji, out.Op)
+			outputJob[cj.Output] = jobName
 		}
 	}
 	sb.WriteString("}\n")
 	return sb.String()
+}
+
+// jobStatsLabel renders the post-run annotation appended to a job cluster
+// label, or "" without stats.
+func jobStatsLabel(js *mapreduce.JobStats) string {
+	if js == nil {
+		return ""
+	}
+	if js.MapOnly {
+		return fmt.Sprintf("\\nmap %.0fs [%s]\\nin %s, out %s",
+			js.MapTime, js.MapBottleneck,
+			obs.FormatBytes(js.MapInputBytes), obs.FormatBytes(js.ReduceOutputBytes))
+	}
+	return fmt.Sprintf("\\nmap %.0fs [%s] | shuffle %.0fs | reduce %.0fs [%s]\\nin %s, shuffle %s, out %s",
+		js.MapTime, js.MapBottleneck, js.ShuffleTime, js.ReduceTime, js.ReduceBottleneck,
+		obs.FormatBytes(js.MapInputBytes), obs.FormatBytes(js.ShuffleBytes),
+		obs.FormatBytes(js.ReduceOutputBytes))
 }
 
 func sanitizeDot(s string) string {

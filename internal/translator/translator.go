@@ -9,6 +9,7 @@ import (
 	"ysmart/internal/correlation"
 	"ysmart/internal/exec"
 	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
 	"ysmart/internal/plan"
 )
 
@@ -57,6 +58,13 @@ type Options struct {
 	// DisableCombiner turns off map-side partial aggregation in modes that
 	// normally use it.
 	DisableCombiner bool
+	// Tracer receives rule-application events (which merging rule fired on
+	// which operations, and which merges were blocked) stamped at time 0,
+	// before execution starts. Nil means no tracing.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, counts rule firings
+	// (ysmart_translator_rule_firings_total{rule=...}).
+	Metrics *obs.Registry
 }
 
 // Translation is a query compiled to an executable MapReduce job chain.
@@ -150,7 +158,7 @@ func TranslateAnalyzed(a *correlation.Analysis, mode Mode, opts Options) (*Trans
 		return lw.lowerSPQuery()
 	}
 
-	jobs := buildJobs(a, mode)
+	jobs := buildJobs(a, mode, opts.Tracer, opts.Metrics)
 	return lw.lowerJobs(jobs)
 }
 
@@ -183,12 +191,39 @@ type grouping struct {
 	a     *correlation.Analysis
 	jobs  []*jobBuild
 	jobOf map[*correlation.Operation]*jobBuild
+
+	tracer  obs.Tracer
+	metrics *obs.Registry
+}
+
+// fireRule records one merging-rule application (or block) on the tracer
+// and registry. Rule events carry correlation provenance: which rule fired,
+// the operations it merged, and the shared partition key.
+func (g *grouping) fireRule(rule string, args ...obs.Field) {
+	if g.tracer.Enabled() {
+		g.tracer.Emit(obs.InstantEvent("translator", rule, "translator", 0, args...))
+	}
+	if g.metrics != nil {
+		g.metrics.Add("ysmart_translator_rule_firings_total", 1, "rule", rule)
+	}
+}
+
+// opNames renders a job's operation list for rule-event args.
+func opNames(jb *jobBuild) string {
+	names := make([]string, len(jb.ops))
+	for i, op := range jb.ops {
+		names[i] = op.Name()
+	}
+	return strings.Join(names, "+")
 }
 
 // buildJobs produces the job grouping for a mode: per-op jobs, then Rule 1
 // (step one) for ICTCOnly and YSmart, then Rules 2-4 (step two) for YSmart.
-func buildJobs(a *correlation.Analysis, mode Mode) *grouping {
-	g := &grouping{a: a, jobOf: make(map[*correlation.Operation]*jobBuild)}
+func buildJobs(a *correlation.Analysis, mode Mode, tracer obs.Tracer, metrics *obs.Registry) *grouping {
+	if tracer == nil {
+		tracer = obs.Nop
+	}
+	g := &grouping{a: a, jobOf: make(map[*correlation.Operation]*jobBuild), tracer: tracer, metrics: metrics}
 	for _, op := range a.Ops {
 		jb := &jobBuild{ops: []*correlation.Operation{op}, pk: a.PK(op)}
 		g.jobs = append(g.jobs, jb)
@@ -213,6 +248,10 @@ func (g *grouping) stepOne() {
 		for i := 0; i < len(g.jobs); i++ {
 			for j := i + 1; j < len(g.jobs); j++ {
 				if g.mergeableICTC(g.jobs[i], g.jobs[j]) {
+					g.fireRule("rule1[IC+TC]",
+						obs.F("into", opNames(g.jobs[i])),
+						obs.F("merged", opNames(g.jobs[j])),
+						obs.F("partition_key", g.jobs[i].pk.String()))
 					g.merge(g.jobs[i], g.jobs[j])
 					changed = true
 					break scan
@@ -287,11 +326,13 @@ func (g *grouping) merge(dst, src *jobBuild) {
 func (g *grouping) stepTwo() {
 	for _, op := range g.a.Ops {
 		var target *jobBuild
+		var rule string
 		switch op.Kind {
 		case correlation.KindAgg:
 			// Rule 2: an aggregation merges into its only preceding job.
 			if c := op.Inputs[0].Op; c != nil && g.a.JobFlowCorrelated(op, c) {
 				target = g.jobOf[c]
+				rule = "rule2[JFC]"
 			}
 		case correlation.KindJoin:
 			c0, c1 := op.Inputs[0].Op, op.Inputs[1].Op
@@ -301,6 +342,7 @@ func (g *grouping) stepTwo() {
 			case jfc0 && jfc1 && g.jobOf[c0] == g.jobOf[c1]:
 				// Rule 3: both children already share a common job.
 				target = g.jobOf[c0]
+				rule = "rule3[JFC]"
 			case jfc0 && jfc1:
 				// Both correlated but in different jobs: merge into the
 				// later one; the other feeds the merged job its output
@@ -309,22 +351,34 @@ func (g *grouping) stepTwo() {
 				if g.jobOf[c0].minID() > target.minID() {
 					target = g.jobOf[c0]
 				}
+				rule = "rule4[JFC]"
 			case jfc0:
 				target = g.jobOf[c0] // Rule 4
+				rule = "rule4[JFC]"
 			case jfc1:
 				target = g.jobOf[c1] // Rule 4
+				rule = "rule4[JFC]"
 			}
 		}
 		if target == nil || target == g.jobOf[op] {
 			continue
 		}
 		if g.chainBlocksMerge(op) {
+			g.fireRule("merge-blocked",
+				obs.F("rule", rule), obs.F("op", op.Name()),
+				obs.F("reason", "chain contains LIMIT"))
 			continue
 		}
 		src := g.jobOf[op]
 		if !g.mergeSafe(src, target) {
+			g.fireRule("merge-blocked",
+				obs.F("rule", rule), obs.F("op", op.Name()),
+				obs.F("reason", "merge would create a job-graph cycle"))
 			continue
 		}
+		g.fireRule(rule,
+			obs.F("op", op.Name()),
+			obs.F("into", opNames(target)))
 		g.merge(target, src)
 	}
 }

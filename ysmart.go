@@ -23,12 +23,14 @@ package ysmart
 
 import (
 	"fmt"
+	"io"
 
 	"ysmart/internal/correlation"
 	"ysmart/internal/datagen"
 	"ysmart/internal/dbms"
 	"ysmart/internal/exec"
 	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
 	"ysmart/internal/plan"
 	"ysmart/internal/queries"
 	"ysmart/internal/sqlparser"
@@ -58,6 +60,14 @@ type (
 	Translation = translator.Translation
 	// ChainStats reports per-job counters and simulated times.
 	ChainStats = mapreduce.ChainStats
+	// Tracer receives span and instant events from an instrumented run.
+	Tracer = obs.Tracer
+	// TraceEvent is one emitted span or instant.
+	TraceEvent = obs.Event
+	// Collector is an in-memory Tracer recording events in emission order.
+	Collector = obs.Collector
+	// Registry accumulates named counters and gauges.
+	Registry = obs.Registry
 )
 
 // Value type constants and constructors.
@@ -211,8 +221,33 @@ type Result struct {
 	Stats  *ChainStats
 }
 
+// RunOption configures one Run invocation (tracing, metrics).
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	tracer  obs.Tracer
+	metrics *obs.Registry
+}
+
+// WithTracer attaches a tracer to the run: the engine emits job/phase/wave
+// spans and DFS/CMF instants stamped with the simulated clock. Execution
+// results and stats are unchanged.
+func WithTracer(t Tracer) RunOption { return func(c *runConfig) { c.tracer = t } }
+
+// WithMetrics attaches a registry accumulating engine, DFS and CMF counters
+// across the run.
+func WithMetrics(r *Registry) RunOption { return func(c *runConfig) { c.metrics = r } }
+
 // Run executes a translation and reads back its result.
-func (r *Runtime) Run(t *Translation) (*Result, error) {
+func (r *Runtime) Run(t *Translation, opts ...RunOption) (*Result, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.tracer != nil || cfg.metrics != nil {
+		r.engine.Instrument(cfg.tracer, cfg.metrics)
+		defer r.engine.Instrument(nil, nil)
+	}
 	stats, err := r.engine.RunChain(t.Jobs)
 	if err != nil {
 		return nil, err
@@ -223,6 +258,30 @@ func (r *Runtime) Run(t *Translation) (*Result, error) {
 	}
 	return &Result{Schema: t.OutputSchema, Rows: rows, Stats: stats}, nil
 }
+
+// ---------------------------------------------------------------------------
+// Observability re-exports
+// ---------------------------------------------------------------------------
+
+// NewCollector returns an in-memory tracer.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ChromeTrace renders collected events as Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func ChromeTrace(events []TraceEvent) []byte { return obs.ChromeTrace(events) }
+
+// RenderTimeline renders collected events as an ASCII Gantt chart of the
+// simulated execution, width characters wide.
+func RenderTimeline(events []TraceEvent, width int) string { return obs.Timeline(events, width) }
+
+// WriteMetrics dumps a registry in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, r *Registry) error { return obs.WritePrometheus(w, r) }
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string { return obs.FormatBytes(n) }
 
 // ---------------------------------------------------------------------------
 // Data generation and the DBMS baseline
