@@ -35,8 +35,9 @@ type figResult interface {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ysmart-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, all")
+	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, all")
 	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the robustness figure's deterministic fault scenarios")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +60,7 @@ func run(args []string) error {
 		{"13", func() (figResult, error) { return experiments.Fig13(w) }},
 		{"ablations", func() (figResult, error) { return experiments.Ablations(w) }},
 		{"scaling", func() (figResult, error) { return experiments.ScalingSweep(w) }},
+		{"robustness", func() (figResult, error) { return experiments.Robustness(w, *faultSeed) }},
 	}
 
 	matched := false
@@ -80,7 +82,7 @@ func run(args []string) error {
 		rows = append(rows, result.BenchRows()...)
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, all)", *fig)
+		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, all)", *fig)
 	}
 
 	if *asJSON {

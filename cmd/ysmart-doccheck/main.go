@@ -1,0 +1,246 @@
+// Command ysmart-doccheck is the docs gate of CI. It fails (exit 1, one
+// finding per line) when documentation drifts from the tree:
+//
+//   - a relative link in any tracked *.md file points at a file that does
+//     not exist;
+//   - a Go package lacks a package-level doc comment;
+//   - an exported identifier in the packages listed in strictPkgs
+//     (the engine-facing surface: internal/mapreduce, internal/cmf) lacks
+//     a doc comment.
+//
+// Usage:
+//
+//	ysmart-doccheck [-root <repo>]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// strictPkgs lists the directories whose exported identifiers must all
+// carry doc comments, not just the package clause.
+var strictPkgs = []string{"internal/mapreduce", "internal/cmf"}
+
+// skipDirs are never descended into.
+var skipDirs = map[string]bool{".git": true, "testdata": true}
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	findings, err := check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ysmart-doccheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ysmart-doccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check runs every rule under root and returns the sorted findings.
+func check(root string) ([]string, error) {
+	var findings []string
+	md, goDirs, err := collect(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, path := range md {
+		fs, err := checkLinks(root, path)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	for _, dir := range goDirs {
+		fs, err := checkGoDocs(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// collect walks root once and returns the markdown files and the
+// directories containing non-test Go files, both root-relative.
+func collect(root string) (md, goDirs []string, err error) {
+	dirSet := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(rel, ".md"):
+			md = append(md, rel)
+		case strings.HasSuffix(rel, ".go") && !strings.HasSuffix(rel, "_test.go"):
+			dirSet[filepath.Dir(rel)] = true
+		}
+		return nil
+	})
+	for dir := range dirSet {
+		goDirs = append(goDirs, dir)
+	}
+	sort.Strings(md)
+	sort.Strings(goDirs)
+	return md, goDirs, err
+}
+
+// mdLink matches inline links and images: [text](target) / ![alt](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies that every relative link target in the markdown
+// file exists, resolved against the file's directory.
+func checkLinks(root, path string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(root, path))
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure fragment, same file
+			}
+			resolved := filepath.Join(root, filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				findings = append(findings,
+					fmt.Sprintf("%s:%d: broken relative link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkGoDocs parses one package directory. Every package needs a
+// package doc comment; packages under strictPkgs additionally need a doc
+// comment on every exported top-level declaration.
+func checkGoDocs(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	strict := false
+	for _, p := range strictPkgs {
+		if dir == p {
+			strict = true
+		}
+	}
+	var findings []string
+	pos := func(p token.Pos) string {
+		position := fset.Position(p)
+		rel, err := filepath.Rel(root, position.Filename)
+		if err != nil {
+			rel = position.Filename
+		}
+		return fmt.Sprintf("%s:%d", rel, position.Line)
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		hasPkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			findings = append(findings,
+				fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		if !strict {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				findings = append(findings, checkDecl(decl, pos)...)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkDecl reports exported top-level identifiers without doc comments.
+// A doc comment on a grouped var/const/type block covers the whole block.
+func checkDecl(decl ast.Decl, pos func(token.Pos) string) []string {
+	var findings []string
+	undocumented := func(name *ast.Ident, kind string) {
+		findings = append(findings,
+			fmt.Sprintf("%s: exported %s %s has no doc comment", pos(name.Pos()), kind, name.Name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			undocumented(d.Name, kind)
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil // block comment covers every spec in the group
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil {
+					undocumented(s.Name, "type")
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						undocumented(name, d.Tok.String())
+					}
+				}
+			}
+		}
+	}
+	return findings
+}

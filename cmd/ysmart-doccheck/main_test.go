@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates path under dir, making parent directories as needed.
+func write(t *testing.T, dir, path, content string) {
+	t.Helper()
+	full := filepath.Join(dir, path)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	findings, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repository has %d doc findings:\n%s",
+			len(findings), strings.Join(findings, "\n"))
+	}
+}
+
+func TestBrokenAndValidLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "DESIGN.md", "real file\n")
+	write(t, dir, "docs/notes.md", "up-link: [design](../DESIGN.md)\n")
+	write(t, dir, "README.md", strings.Join([]string{
+		"[ok](DESIGN.md) [ok-frag](DESIGN.md#part) [frag](#local)",
+		"[ext](https://example.com/x.md) <!-- external, never checked -->",
+		"[dir](docs) [nested](docs/notes.md)",
+		"[broken](MISSING.md)",
+		"```",
+		"[in a fence](ALSO-MISSING.md) — code blocks are skipped",
+		"```",
+		"![img](missing.png)",
+	}, "\n")+"\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`README.md:4: broken relative link "MISSING.md"`,
+		`README.md:8: broken relative link "missing.png"`,
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("findings = %v, want %v", findings, want)
+	}
+	for i := range want {
+		if findings[i] != want[i] {
+			t.Errorf("finding[%d] = %q, want %q", i, findings[i], want[i])
+		}
+	}
+}
+
+func TestMissingPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, dir, "bad/bad.go", "package bad\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "package bad has no package doc comment") {
+		t.Errorf("findings = %v, want exactly the missing package doc", findings)
+	}
+}
+
+func TestStrictPackagesRequireExportedDocs(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package mapreduce stands in for the strict package.
+package mapreduce
+
+// Documented is fine.
+type Documented struct{}
+
+type Naked struct{}
+
+// Grouped declarations are covered by the block comment.
+const (
+	A = 1
+	B = 2
+)
+
+func ExportedNoDoc() {}
+
+// Method docs count too.
+func (Documented) Good() {}
+
+func (Documented) Bad() {}
+
+func unexported() {} // never reported
+`
+	write(t, dir, "internal/mapreduce/code.go", src)
+	// Same omissions outside the strict list are only checked for
+	// package docs.
+	write(t, dir, "internal/other/code.go",
+		"// Package other is lax.\npackage other\n\ntype Naked struct{}\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"type Naked", "function ExportedNoDoc", "method Bad"}
+	if len(findings) != len(want) {
+		t.Fatalf("findings = %v, want %d strict findings", findings, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, w) && strings.HasPrefix(f, "internal/mapreduce/") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding for %q in %v", w, findings)
+		}
+	}
+}
+
+func TestTestFilesAreIgnored(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "internal/cmf/cmf.go", "// Package cmf is documented.\npackage cmf\n")
+	write(t, dir, "internal/cmf/cmf_test.go",
+		"package cmf\n\nfunc ExportedTestHelper() {}\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("test files produced findings: %v", findings)
+	}
+}

@@ -18,6 +18,12 @@
 //	ysmart -query Q21 -run -timeline         # ASCII Gantt of the simulated run
 //	ysmart -query Q21 -run -metrics -        # Prometheus-style counter dump
 //	ysmart -query Q21 -run -analyze          # job graph annotated with counters
+//
+// Fault injection (deterministic, seeded; see mapreduce.FaultPlan):
+//
+//	ysmart -query Q21 -faults task=0.1 -timeline              # 10% task failures
+//	ysmart -query Q21 -faults "straggler=0.2x6" -speculate    # stragglers + backups
+//	ysmart -query Q21 -faults node=0@400 -fault-seed 7 -run   # node 0 dies at t=400s
 package main
 
 import (
@@ -52,11 +58,14 @@ func run(args []string) error {
 		timeline  = fs.Bool("timeline", false, "print an ASCII timeline of the simulated execution; implies -run")
 		metricsTo = fs.String("metrics", "", "write Prometheus-style metrics to <file> (- for stdout); implies -run")
 		analyze   = fs.Bool("analyze", false, "print the job graph annotated with post-run counters (explain -analyze); implies -run")
+		faults    = fs.String("faults", "", `fault scenario, e.g. "task=0.1,straggler=0.05x6,node=2@500"; implies -run`)
+		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
+		speculate = fs.Bool("speculate", false, "launch backup attempts for straggling tasks; implies -run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze {
+	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze || *faults != "" || *speculate {
 		*runIt = true
 	}
 
@@ -127,6 +136,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *faults != "" {
+		plan, err := ysmart.ParseFaultSpec(*faults)
+		if err != nil {
+			return err
+		}
+		plan.Seed = *faultSeed
+		cluster.Faults = plan
+	}
+	if *speculate {
+		cluster.Speculation = ysmart.Speculation{Enabled: true}
+	}
 	rt, err := ysmart.NewRuntime(cluster)
 	if err != nil {
 		return err
@@ -165,6 +185,10 @@ func run(args []string) error {
 	fmt.Printf("  scanned %s, shuffled %s\n",
 		ysmart.FormatBytes(res.Stats.TotalMapInputBytes()),
 		ysmart.FormatBytes(res.Stats.TotalShuffleBytes()))
+	if res.Stats.TotalRetries()+res.Stats.TotalRecomputed()+res.Stats.TotalSpeculative() > 0 {
+		fmt.Printf("  recovery: %d retries, %d recomputed map tasks, %d speculative backups\n",
+			res.Stats.TotalRetries(), res.Stats.TotalRecomputed(), res.Stats.TotalSpeculative())
+	}
 	fmt.Printf("== result (%d rows, schema %s) ==\n", len(res.Rows), res.Schema)
 	for i, row := range res.Rows {
 		if i >= *maxRows {

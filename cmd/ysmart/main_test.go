@@ -195,6 +195,28 @@ func TestRunTraceOutput(t *testing.T) {
 	}
 }
 
+// TestRunFaultFlags exercises the fault-injection flags end to end: a
+// scenario with task failures, stragglers and a node death must execute,
+// render a timeline, and reject malformed specs.
+func TestRunFaultFlags(t *testing.T) {
+	args := []string{"-query", "Q-AGG", "-cluster", "ec2-11", "-faults", "task=0.3,straggler=0.2x6,node=0@13", "-fault-seed", "2", "-speculate", "-timeline"}
+	if err := run(args); err != nil {
+		t.Fatalf("fault run: %v", err)
+	}
+	// Killing the small cluster's only node must fail loudly, not hang or
+	// silently drop work.
+	if err := run([]string{"-query", "Q-AGG", "-faults", "node=0@13"}); err == nil ||
+		!strings.Contains(err.Error(), "no surviving nodes") {
+		t.Errorf("total cluster loss err = %v, want 'no surviving nodes'", err)
+	}
+	if err := run([]string{"-query", "Q-AGG", "-faults", "task=nope"}); err == nil {
+		t.Error("malformed fault spec should error")
+	}
+	if err := run([]string{"-query", "Q-AGG", "-faults", "node=99@10"}); err == nil {
+		t.Error("out-of-range node should fail cluster validation")
+	}
+}
+
 // TestRunObservabilityFlags smoke-tests the remaining observability paths.
 func TestRunObservabilityFlags(t *testing.T) {
 	if err := run([]string{"-query", "Q-AGG", "-timeline", "-analyze"}); err != nil {

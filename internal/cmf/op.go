@@ -25,6 +25,7 @@ func OpSource(name string) Source { return Source{Op: name} }
 // IsOp reports whether the source is another operator.
 func (s Source) IsOp() bool { return s.Op != "" }
 
+// String renders the source for diagnostics and DOT labels.
 func (s Source) String() string {
 	if s.IsOp() {
 		return "op:" + s.Op

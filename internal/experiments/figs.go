@@ -26,6 +26,10 @@ type Run struct {
 	// shuffle traffic — the counters the paper's analysis tracks per system.
 	ScanBytes    int64
 	ShuffleBytes int64
+	// Fault-recovery totals (zero on fault-free runs; see mapreduce.FaultPlan).
+	Retries     int
+	Recomputed  int
+	Speculative int
 }
 
 func runFromStats(query, system string, stats *mapreduce.ChainStats) Run {
@@ -33,6 +37,9 @@ func runFromStats(query, system string, stats *mapreduce.ChainStats) Run {
 		Query: query, System: system, Total: stats.TotalTime(),
 		ScanBytes:    stats.TotalMapInputBytes(),
 		ShuffleBytes: stats.TotalShuffleBytes(),
+		Retries:      stats.TotalRetries(),
+		Recomputed:   stats.TotalRecomputed(),
+		Speculative:  stats.TotalSpeculative(),
 	}
 	for _, j := range stats.Jobs {
 		r.Jobs = append(r.Jobs, JobPhase{

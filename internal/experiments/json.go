@@ -15,6 +15,12 @@ type BenchRow struct {
 	Seconds      float64 `json:"seconds"`
 	ScanBytes    int64   `json:"scan_bytes"`
 	ShuffleBytes int64   `json:"shuffle_bytes"`
+	// Fault-injection fields, set only by the robustness figure.
+	FailureRate float64 `json:"failure_rate,omitempty"`
+	Retries     int     `json:"retries,omitempty"`
+	Recomputed  int     `json:"recomputed,omitempty"`
+	Speculative int     `json:"speculative,omitempty"`
+	ResultOK    bool    `json:"result_ok,omitempty"`
 }
 
 // benchRow flattens a Run into one figure's row.
@@ -23,6 +29,7 @@ func benchRow(figure string, r Run) BenchRow {
 		Figure: figure, Query: r.Query, System: r.System,
 		Jobs: len(r.Jobs), Seconds: r.Total,
 		ScanBytes: r.ScanBytes, ShuffleBytes: r.ShuffleBytes,
+		Retries: r.Retries, Recomputed: r.Recomputed, Speculative: r.Speculative,
 	}
 }
 

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRobustnessShape narrows the sweep to one query and two rates (the
+// full sweep is the bench harness's job) and checks the figure's claims:
+// fault-injected runs recover to the exact fault-free output, recovery
+// activity is visible at non-zero rates, and rows flatten for -json.
+func TestRobustnessShape(t *testing.T) {
+	w := testWorkload(t)
+	origQ, origP := robustnessQueries, robustnessProbs
+	robustnessQueries = []string{"Q21"}
+	robustnessProbs = []float64{0, 0.15}
+	defer func() { robustnessQueries, robustnessProbs = origQ, origP }()
+
+	r, err := Robustness(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(r.Cells))
+	}
+	base, faulted := r.Cells[0], r.Cells[1]
+	for _, c := range r.Cells {
+		if !c.YSmartOK || !c.HiveOK {
+			t.Errorf("p=%.2f: result mismatch (ysmart ok=%v, hive ok=%v)", c.FailureProb, c.YSmartOK, c.HiveOK)
+		}
+	}
+	if base.YSmart.Retries+base.Hive.Retries != 0 {
+		t.Errorf("fault-free runs report retries: %+v", base)
+	}
+	if faulted.YSmart.Retries == 0 || faulted.Hive.Retries == 0 {
+		t.Errorf("15%% failure rate produced no retries: ysmart %d, hive %d",
+			faulted.YSmart.Retries, faulted.Hive.Retries)
+	}
+	if faulted.YSmart.Total <= base.YSmart.Total {
+		t.Errorf("retries did not extend ysmart time: %.0fs vs %.0fs",
+			faulted.YSmart.Total, base.YSmart.Total)
+	}
+
+	text := r.Format()
+	for _, want := range []string{"Robustness", "Q21", "slowdown"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "MISMATCH") {
+		t.Errorf("Format reports a result mismatch:\n%s", text)
+	}
+
+	rows := r.BenchRows()
+	if len(rows) != 4 {
+		t.Fatalf("bench rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if row.Figure != "robustness" || !row.ResultOK {
+			t.Errorf("bad bench row: %+v", row)
+		}
+		if row.FailureRate > 0 && row.Retries == 0 {
+			t.Errorf("faulted bench row has no retries: %+v", row)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"ysmart/internal/datagen"
 	"ysmart/internal/dbms"
+	"ysmart/internal/exec"
 	"ysmart/internal/handcoded"
 	"ysmart/internal/mapreduce"
 	"ysmart/internal/queries"
@@ -127,6 +128,38 @@ func (w *Workload) RunTranslated(query string, mode translator.Mode, cluster *ma
 		return nil, fmt.Errorf("%s (%v): %w", query, mode, err)
 	}
 	return stats, nil
+}
+
+// RunTranslatedResult is RunTranslated plus the query's decoded output
+// rows, so callers can check result integrity — the robustness figure
+// compares fault-injected outputs against fault-free ones.
+func (w *Workload) RunTranslatedResult(query string, mode translator.Mode, cluster *mapreduce.Cluster, label string) (*mapreduce.ChainStats, []exec.Row, error) {
+	sql, ok := queries.Named()[query]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown workload query %q", query)
+	}
+	root, err := queries.Plan(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", query, err)
+	}
+	tr, err := translator.Translate(root, mode, translator.Options{QueryName: label})
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s (%v): %w", query, mode, err)
+	}
+	dfs := w.FreshDFS()
+	eng, err := mapreduce.NewEngine(dfs, cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats, err := eng.RunChain(tr.Jobs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s (%v): %w", query, mode, err)
+	}
+	rows, err := tr.ReadResult(dfs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s (%v): %w", query, mode, err)
+	}
+	return stats, rows, nil
 }
 
 // RunHandCoded executes one of the hand-written programs on the cluster.

@@ -95,7 +95,22 @@ type Cluster struct {
 	// materialization of §III exists to support). Each phase's execution
 	// time is inflated by the expected rework, 1/(1-rate). Must be in
 	// [0, 1).
+	//
+	// Deprecated: this analytic inflation is kept only as a documented
+	// fallback. Prefer Faults, which schedules and re-executes individual
+	// task attempts. When Faults is set, TaskFailureRate must be zero
+	// (Validate rejects both) and the inflation is never applied.
 	TaskFailureRate float64
+	// Faults, when non-nil and non-zero, switches the engine from the
+	// analytic cost path to event-level scheduling: task attempts are
+	// placed on concrete slots, injected failures/node deaths/stragglers
+	// trigger real re-execution of user code, and phase times come from
+	// the resulting schedule. A nil or zero plan leaves results and
+	// JobStats byte-identical to a plan-free cluster.
+	Faults *FaultPlan
+	// Speculation enables backup attempts for stragglers. It only has an
+	// effect when Faults injects stragglers.
+	Speculation Speculation
 }
 
 // Validate checks the configuration is usable.
@@ -116,12 +131,25 @@ func (c *Cluster) Validate() error {
 	case c.TaskFailureRate < 0 || c.TaskFailureRate >= 1:
 		return fmt.Errorf("cluster %s: task failure rate must be in [0, 1)", c.Name)
 	}
+	if c.Faults != nil {
+		if c.TaskFailureRate > 0 {
+			return fmt.Errorf("cluster %s: TaskFailureRate and Faults are mutually exclusive; drop the deprecated rate when using a fault plan", c.Name)
+		}
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return fmt.Errorf("cluster %s: %w", c.Name, err)
+		}
+	}
 	return nil
 }
 
 // reworkFactor is the expected execution inflation from task retries: with
 // failure probability p per attempt, a task runs 1/(1-p) times on average.
+// It is the deprecated analytic fallback; with a FaultPlan attached retries
+// are scheduled individually and no inflation applies.
 func (c *Cluster) reworkFactor() float64 {
+	if c.Faults != nil {
+		return 1
+	}
 	return 1 / (1 - c.TaskFailureRate)
 }
 

@@ -67,6 +67,7 @@ func (d *DFS) observe(op, path string, lines []string) {
 // FileNotFoundError reports a read of a missing path.
 type FileNotFoundError struct{ Path string }
 
+// Error implements the error interface.
 func (e *FileNotFoundError) Error() string {
 	return fmt.Sprintf("dfs: file %q not found", e.Path)
 }

@@ -147,6 +147,13 @@ func topoSort(jobs []*Job) ([]*Job, error) {
 // kv is one map output pair.
 type kv struct{ key, value string }
 
+// mapTask is one map task's share of a job input, kept so the fault path
+// can re-execute the task's user code on retries and recomputes.
+type mapTask struct {
+	input Input
+	chunk []string
+}
+
 // RunJob executes a single job: map over every input, optional combine per
 // map task, shuffle/group, reduce, and write the output file. It returns
 // the job's counters and simulated times, and advances the simulated clock
@@ -174,6 +181,7 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 	var mapOutput []kv // post-combine pairs from all tasks
 	var mapOnlyLines []string
 
+	var tasks []mapTask
 	for _, in := range j.Inputs {
 		lines, err := e.dfs.Read(in.Path)
 		if err != nil {
@@ -185,43 +193,46 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 
 		// Number of map tasks is determined by the scaled input size.
 		scaled := float64(inBytes) * cl.DataScale
-		tasks := int(math.Ceil(scaled / float64(cl.Cost.SplitSize)))
-		if tasks < 1 {
-			tasks = 1
+		nTasks := int(math.Ceil(scaled / float64(cl.Cost.SplitSize)))
+		if nTasks < 1 {
+			nTasks = 1
 		}
-		stats.NumMapTasks += tasks
+		stats.NumMapTasks += nTasks
 
 		// Split actual lines into task chunks so per-task combining matches
 		// Hadoop's per-task partial aggregation.
-		for _, chunk := range splitChunks(lines, tasks) {
-			var taskPairs []kv
-			emit := func(key, value string) {
-				taskPairs = append(taskPairs, kv{key, value})
-			}
-			for _, line := range chunk {
-				if err := in.Mapper.Map(line, emit); err != nil {
-					return nil, fmt.Errorf("map %s: %w", in.Path, err)
-				}
-			}
-			preCombineRecords += int64(len(taskPairs))
-			for _, p := range taskPairs {
-				preCombineBytes += int64(len(p.key) + len(p.value) + 2)
-			}
-			if j.Reducer == nil {
-				for _, p := range taskPairs {
-					mapOnlyLines = append(mapOnlyLines, p.value)
-				}
-				continue
-			}
-			if j.Combiner != nil {
-				combined, err := combineTask(taskPairs, j.Combiner)
-				if err != nil {
-					return nil, fmt.Errorf("combine: %w", err)
-				}
-				taskPairs = combined
-			}
-			mapOutput = append(mapOutput, taskPairs...)
+		for _, chunk := range splitChunks(lines, nTasks) {
+			tasks = append(tasks, mapTask{input: in, chunk: chunk})
 		}
+	}
+	for _, task := range tasks {
+		var taskPairs []kv
+		emit := func(key, value string) {
+			taskPairs = append(taskPairs, kv{key, value})
+		}
+		for _, line := range task.chunk {
+			if err := task.input.Mapper.Map(line, emit); err != nil {
+				return nil, fmt.Errorf("map %s: %w", task.input.Path, err)
+			}
+		}
+		preCombineRecords += int64(len(taskPairs))
+		for _, p := range taskPairs {
+			preCombineBytes += int64(len(p.key) + len(p.value) + 2)
+		}
+		if j.Reducer == nil {
+			for _, p := range taskPairs {
+				mapOnlyLines = append(mapOnlyLines, p.value)
+			}
+			continue
+		}
+		if j.Combiner != nil {
+			combined, err := combineTask(taskPairs, j.Combiner)
+			if err != nil {
+				return nil, fmt.Errorf("combine: %w", err)
+			}
+			taskPairs = combined
+		}
+		mapOutput = append(mapOutput, taskPairs...)
 	}
 
 	// ----- Map-only jobs write straight to the DFS -----------------------
@@ -231,7 +242,13 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 		stats.MapOutputBytes = linesBytes(mapOnlyLines)
 		stats.ReduceOutputRecords = stats.MapOutputRecords
 		stats.ReduceOutputBytes = stats.MapOutputBytes
-		e.costMapOnly(j, stats, preCombineRecords, preCombineBytes)
+		if e.faultsActive() {
+			if err := e.costMapOnlyFaulty(j, stats, preCombineRecords, preCombineBytes, tasks); err != nil {
+				return nil, err
+			}
+		} else {
+			e.costMapOnly(j, stats, preCombineRecords, preCombineBytes)
+		}
 		return stats, nil
 	}
 
@@ -292,7 +309,13 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 	stats.ReduceOutputRecords = int64(len(outLines))
 	stats.ReduceOutputBytes = linesBytes(outLines)
 
-	e.costJob(j, stats, preCombineRecords, preCombineBytes)
+	if e.faultsActive() {
+		if err := e.costJobFaulty(j, stats, preCombineRecords, preCombineBytes, tasks, keys, groups); err != nil {
+			return nil, err
+		}
+	} else {
+		e.costJob(j, stats, preCombineRecords, preCombineBytes)
+	}
 	return stats, nil
 }
 

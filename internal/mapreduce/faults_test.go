@@ -1,0 +1,386 @@
+package mapreduce
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ysmart/internal/obs"
+)
+
+// testFaultCluster is a 4-node cluster with a tiny split size so even the
+// small test inputs produce many real map tasks (and several waves).
+func testFaultCluster() *Cluster {
+	c := SmallCluster()
+	c.Name = "fault-test"
+	c.Nodes = 4
+	c.MapSlotsPerNode = 2
+	c.ReduceSlotsPerNode = 2
+	c.Cost.SplitSize = 64
+	return c
+}
+
+// faultTestLines is a deterministic many-line input (dozens of map tasks
+// at the test cluster's 64-byte split size).
+func faultTestLines() []string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	var lines []string
+	for i := 0; i < 120; i++ {
+		lines = append(lines, fmt.Sprintf("%s %s %s",
+			words[i%len(words)], words[(i*7+3)%len(words)], words[(i*13+1)%len(words)]))
+	}
+	return lines
+}
+
+// runFaultChain executes the three-job wordcount chain on a fresh DFS
+// under the given cluster, returning stats and the final output lines.
+func runFaultChain(t *testing.T, cluster *Cluster, tracer obs.Tracer) (*ChainStats, []string) {
+	t.Helper()
+	dfs := NewDFS()
+	dfs.Write("in", faultTestLines())
+	e, err := NewEngine(dfs, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer != nil {
+		e.Instrument(tracer, nil)
+	}
+	stats, err := e.RunChain(chainJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dfs.Read("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats, out
+}
+
+func TestZeroFaultPlanIsByteIdentical(t *testing.T) {
+	base, baseOut := runFaultChain(t, testFaultCluster(), nil)
+
+	zero := testFaultCluster()
+	zero.Faults = &FaultPlan{Seed: 42} // no events
+	zero.Speculation = Speculation{Enabled: true}
+	got, gotOut := runFaultChain(t, zero, nil)
+
+	if !reflect.DeepEqual(base.Jobs, got.Jobs) {
+		t.Errorf("zero-event FaultPlan changed JobStats:\nbase %+v\ngot  %+v", base.Jobs, got.Jobs)
+	}
+	if !reflect.DeepEqual(baseOut, gotOut) {
+		t.Errorf("zero-event FaultPlan changed output")
+	}
+}
+
+func TestTaskFailuresPreserveOutput(t *testing.T) {
+	_, want := runFaultChain(t, testFaultCluster(), nil)
+
+	faulty := testFaultCluster()
+	faulty.Faults = &FaultPlan{Seed: 1, TaskFailureProb: 0.3}
+	stats, got := runFaultChain(t, faulty, nil)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("output under task failures differs from fault-free run")
+	}
+	if stats.TotalRetries() == 0 {
+		t.Errorf("30%% failure probability produced no retries: %+v", stats.Jobs[0])
+	}
+	var fails int
+	for _, js := range stats.Jobs {
+		if js.TotalTime() <= 0 {
+			t.Errorf("job %s: non-positive total time", js.Name)
+		}
+		for _, a := range js.Attempts {
+			if a.Outcome == OutcomeFailed {
+				fails++
+			}
+			if a.Dur < 0 {
+				t.Errorf("job %s: negative attempt duration %+v", js.Name, a)
+			}
+		}
+	}
+	if fails != stats.TotalRetries() {
+		// Every failed attempt relaunches exactly once (no node deaths here).
+		t.Errorf("failed attempts %d != retries %d", fails, stats.TotalRetries())
+	}
+}
+
+func TestNodeFailureRecomputesAndPreservesOutput(t *testing.T) {
+	_, want := runFaultChain(t, testFaultCluster(), nil)
+
+	faulty := testFaultCluster()
+	// Startup is 12s and map waves run ~1.5s each, so 13.6s lands inside the
+	// first job's map phase: node 0 dies with completed wave-1 output and
+	// in-flight wave-2 attempts.
+	faulty.Faults = &FaultPlan{Seed: 5, NodeFailures: []NodeFailure{{Node: 0, At: 13.6}}}
+	collector := obs.NewCollector()
+	stats, got := runFaultChain(t, faulty, collector)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("output under a node failure differs from fault-free run")
+	}
+	js := stats.Jobs[0]
+	if js.NodeFailures != 1 {
+		t.Errorf("job 1 node failures = %d, want 1", js.NodeFailures)
+	}
+	if js.RecomputedMapTasks == 0 && js.MapTaskRetries == 0 {
+		t.Errorf("node death caused no recovery: %+v", js)
+	}
+	var deadNodeLate, faultInstants int
+	for _, a := range js.Attempts {
+		if a.Node == 0 && a.Start >= 13.6 {
+			deadNodeLate++
+		}
+	}
+	if deadNodeLate > 0 {
+		t.Errorf("%d attempts scheduled on node 0 after its death", deadNodeLate)
+	}
+	for _, ev := range collector.Events() {
+		if ev.Cat == "fault" && ev.Name == "node-failure" {
+			faultInstants++
+		}
+	}
+	if faultInstants == 0 {
+		t.Errorf("trace has no node-failure instant")
+	}
+}
+
+func TestSpeculationRacesStragglers(t *testing.T) {
+	_, want := runFaultChain(t, testFaultCluster(), nil)
+
+	faulty := testFaultCluster()
+	faulty.Faults = &FaultPlan{Seed: 3, StragglerProb: 0.4, StragglerFactor: 8}
+	faulty.Speculation = Speculation{Enabled: true}
+	stats, got := runFaultChain(t, faulty, nil)
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("output under speculation differs from fault-free run")
+	}
+	var spec, wins, killed int
+	for _, js := range stats.Jobs {
+		spec += js.SpeculativeTasks
+		wins += js.SpeculativeWins
+		for _, a := range js.Attempts {
+			if a.Outcome == OutcomeKilled {
+				killed++
+			}
+		}
+	}
+	if spec == 0 {
+		t.Fatalf("40%% stragglers at 8x with speculation on launched no backups")
+	}
+	if wins > spec {
+		t.Errorf("speculative wins %d > launches %d", wins, spec)
+	}
+	// Every race has exactly one loser: a killed original per win, a killed
+	// backup per loss (unless the backup failed or was node-lost first).
+	if wins > 0 && killed == 0 {
+		t.Errorf("%d speculative wins but no killed attempts", wins)
+	}
+
+	// With the same faults but speculation off, stragglers run to completion.
+	off := testFaultCluster()
+	off.Faults = &FaultPlan{Seed: 3, StragglerProb: 0.4, StragglerFactor: 8}
+	offStats, offOut := runFaultChain(t, off, nil)
+	if !reflect.DeepEqual(want, offOut) {
+		t.Errorf("output with speculation off differs from fault-free run")
+	}
+	if offStats.TotalSpeculative() != 0 {
+		t.Errorf("speculation disabled but %d backups launched", offStats.TotalSpeculative())
+	}
+}
+
+func TestFaultReplayIsDeterministic(t *testing.T) {
+	mk := func() *Cluster {
+		c := testFaultCluster()
+		c.Faults = &FaultPlan{
+			Seed:            9,
+			TaskFailureProb: 0.2,
+			StragglerProb:   0.2,
+			NodeFailures:    []NodeFailure{{Node: 2, At: 14}},
+		}
+		c.Speculation = Speculation{Enabled: true}
+		return c
+	}
+	c1 := obs.NewCollector()
+	s1, o1 := runFaultChain(t, mk(), c1)
+	c2 := obs.NewCollector()
+	s2, o2 := runFaultChain(t, mk(), c2)
+
+	if !reflect.DeepEqual(s1.Jobs, s2.Jobs) {
+		t.Errorf("same seed produced different JobStats")
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Errorf("same seed produced different output")
+	}
+	t1, t2 := obs.ChromeTrace(c1.Events()), obs.ChromeTrace(c2.Events())
+	if string(t1) != string(t2) {
+		t.Errorf("same seed produced different trace bytes")
+	}
+}
+
+func TestTracedIdenticalToUntracedUnderFaults(t *testing.T) {
+	mk := func() *Cluster {
+		c := testFaultCluster()
+		c.Faults = &FaultPlan{Seed: 11, TaskFailureProb: 0.25, NodeFailures: []NodeFailure{{Node: 1, At: 15}}}
+		return c
+	}
+	plain, plainOut := runFaultChain(t, mk(), nil)
+	collector := obs.NewCollector()
+	traced, tracedOut := runFaultChain(t, mk(), collector)
+
+	if !reflect.DeepEqual(plain.Jobs, traced.Jobs) {
+		t.Errorf("tracing changed fault-injected JobStats")
+	}
+	if !reflect.DeepEqual(plainOut, tracedOut) {
+		t.Errorf("tracing changed fault-injected output")
+	}
+	var retrySpans int
+	for _, ev := range collector.Events() {
+		if ev.Cat == "retry" {
+			retrySpans++
+		}
+	}
+	if plain.TotalRetries() > 0 && retrySpans == 0 {
+		t.Errorf("%d retries but no retry spans in trace", plain.TotalRetries())
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	c := testFaultCluster()
+	c.TaskFailureRate = 0.1
+	c.Faults = &FaultPlan{Seed: 1, TaskFailureProb: 0.1}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("TaskFailureRate+Faults err = %v, want mutually exclusive", err)
+	}
+
+	cases := []FaultPlan{
+		{TaskFailureProb: 1},
+		{TaskFailureProb: -0.1},
+		{StragglerProb: 1.5},
+		{StragglerFactor: 0.5},
+		{MaxAttempts: -1},
+		{NodeFailures: []NodeFailure{{Node: 99, At: 1}}},
+		{NodeFailures: []NodeFailure{{Node: 0, At: -3}}},
+	}
+	for i, plan := range cases {
+		c := testFaultCluster()
+		p := plan
+		c.Faults = &p
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: plan %+v validated, want error", i, plan)
+		}
+	}
+
+	ok := testFaultCluster()
+	ok.Faults = &FaultPlan{Seed: 7, TaskFailureProb: 0.5, StragglerProb: 0.3, StragglerFactor: 2,
+		MaxAttempts: 3, NodeFailures: []NodeFailure{{Node: 3, At: 100}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestDeprecatedRateStillWorksWithoutPlan(t *testing.T) {
+	c := testFaultCluster()
+	c.TaskFailureRate = 0.5
+	if err := c.Validate(); err != nil {
+		t.Fatalf("rate without plan rejected: %v", err)
+	}
+	if got := c.reworkFactor(); got != 2 {
+		t.Errorf("reworkFactor = %v, want 2", got)
+	}
+	// Attaching any plan disables the analytic inflation.
+	c.TaskFailureRate = 0
+	c.Faults = &FaultPlan{Seed: 1, TaskFailureProb: 0.5}
+	if got := c.reworkFactor(); got != 1 {
+		t.Errorf("reworkFactor with plan = %v, want 1", got)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("task=0.1,straggler=0.05x6,node=2@500,node=1@30,attempts=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &FaultPlan{
+		TaskFailureProb: 0.1,
+		StragglerProb:   0.05,
+		StragglerFactor: 6,
+		MaxAttempts:     3,
+		NodeFailures:    []NodeFailure{{Node: 1, At: 30}, {Node: 2, At: 500}},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("ParseFaultSpec = %+v, want %+v", p, want)
+	}
+
+	if p, err := ParseFaultSpec("straggler=0.2"); err != nil || p.StragglerProb != 0.2 || p.StragglerFactor != 0 {
+		t.Errorf("factor-less straggler = %+v, %v", p, err)
+	}
+	if p, err := ParseFaultSpec(""); err != nil || !p.IsZero() {
+		t.Errorf("empty spec = %+v, %v; want zero plan", p, err)
+	}
+
+	for _, bad := range []string{"bogus=1", "task", "task=x", "node=1", "node=a@3", "node=1@x", "straggler=0.1xq", "attempts=two"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q parsed, want error", bad)
+		}
+	}
+}
+
+func TestFaultPlanRollProperties(t *testing.T) {
+	p := &FaultPlan{Seed: 1}
+	a := p.roll("fail", "j1", "map", 3, 0)
+	if b := p.roll("fail", "j1", "map", 3, 0); a != b {
+		t.Errorf("roll not deterministic: %v vs %v", a, b)
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("roll out of [0,1): %v", a)
+	}
+	if b := p.roll("fail", "j1", "map", 3, 1); a == b {
+		t.Errorf("different attempt produced identical roll")
+	}
+	q := &FaultPlan{Seed: 2}
+	if b := q.roll("fail", "j1", "map", 3, 0); a == b {
+		t.Errorf("different seed produced identical roll")
+	}
+}
+
+func TestMapOnlyJobUnderFaults(t *testing.T) {
+	mk := func(c *Cluster) []string {
+		dfs := NewDFS()
+		dfs.Write("in", faultTestLines())
+		e, err := NewEngine(dfs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := &Job{
+			Name: "filter",
+			Inputs: []Input{{
+				Path: "in",
+				Mapper: MapperFunc(func(line string, emit Emit) error {
+					if strings.Contains(line, "alpha") {
+						emit("", line)
+					}
+					return nil
+				}),
+			}},
+			Output: "out",
+		}
+		if _, err := e.RunJob(job); err != nil {
+			t.Fatal(err)
+		}
+		out, err := dfs.Read("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := mk(testFaultCluster())
+	faulty := testFaultCluster()
+	faulty.Faults = &FaultPlan{Seed: 2, TaskFailureProb: 0.3, NodeFailures: []NodeFailure{{Node: 0, At: 13}}}
+	got := mk(faulty)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("map-only output under faults differs from fault-free run")
+	}
+}

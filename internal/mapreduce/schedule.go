@@ -1,0 +1,566 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the event-level wave scheduler behind FaultPlan. The
+// analytic cost path (costJob/costMapOnly) stays untouched for fault-free
+// runs; when a non-zero plan is attached the engine instead schedules
+// every task attempt onto concrete slots and nodes, injects failures,
+// node deaths and stragglers, launches speculative backups, and derives
+// phase times from the resulting schedule. Per-task work is calibrated so
+// a fault-free schedule reproduces the analytic phase times: each task's
+// nominal duration is the analytic phase base divided by its wave count,
+// and every attempt pays the cost model's per-wave TaskOverhead.
+
+// slotPool tracks per-slot next-free times for one phase's slot class.
+// Slot s lives on node s % nodes; a node death permanently retires its
+// slots for any attempt that would start at or after the death.
+type slotPool struct {
+	free   []float64
+	nodes  int
+	deaths map[int]float64 // node -> death time (absolute)
+}
+
+func newSlotPool(slots, nodes int, start float64, deaths map[int]float64) *slotPool {
+	if slots < 1 {
+		slots = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	free := make([]float64, slots)
+	for i := range free {
+		free[i] = start
+	}
+	return &slotPool{free: free, nodes: nodes, deaths: deaths}
+}
+
+// deathOf returns the death time of a slot's node.
+func (p *slotPool) deathOf(slot int) (float64, bool) {
+	d, ok := p.deaths[slot%p.nodes]
+	return d, ok
+}
+
+// acquire picks the slot giving the earliest start >= ready on a node
+// still alive at that start (ties go to the lowest slot index). ok is
+// false when no surviving slot remains.
+func (p *slotPool) acquire(ready float64) (slot int, start float64, ok bool) {
+	best := -1
+	var bestStart float64
+	for s, f := range p.free {
+		st := f
+		if ready > st {
+			st = ready
+		}
+		if d, dead := p.deathOf(s); dead && st >= d {
+			continue
+		}
+		if best == -1 || st < bestStart {
+			best, bestStart = s, st
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestStart, true
+}
+
+// completion records where and when a task's winning attempt finished.
+type completion struct {
+	at   float64
+	node int
+}
+
+// pendingEntry is one task execution waiting for a slot.
+type pendingEntry struct {
+	task      int
+	ready     float64 // earliest start time
+	seq       int     // enqueue order, the deterministic tie-breaker
+	recompute bool
+
+	// Speculative backups carry their straggling original's coordinates.
+	speculative bool
+	origEnd     float64
+	origIdx     int // index into phaseSched.attempts
+	origSlot    int
+}
+
+// phaseSched schedules one phase (map or reduce) of one job under a fault
+// plan. It is reused across recompute rounds of the same phase so slot
+// state and attempt numbering carry over.
+type phaseSched struct {
+	plan     *FaultPlan
+	spec     Speculation
+	job      string
+	phase    string
+	taskDur  float64 // nominal work seconds per task, excluding overhead
+	overhead float64
+	pool     *slotPool
+
+	attempts    []TaskAttempt
+	completions map[int]completion
+	nextAttempt map[int]int
+	fails       map[int]int
+	specDone    map[int]bool
+	nextSeq     int
+
+	relaunches int // failed + node-lost attempts that spawned a retry
+	specCount  int // backups launched
+	specWins   int // backups that finished first
+}
+
+func newPhaseSched(plan *FaultPlan, spec Speculation, job, phase string, taskDur, overhead float64, pool *slotPool) *phaseSched {
+	return &phaseSched{
+		plan: plan, spec: spec, job: job, phase: phase,
+		taskDur: taskDur, overhead: overhead, pool: pool,
+		completions: make(map[int]completion),
+		nextAttempt: make(map[int]int),
+		fails:       make(map[int]int),
+		specDone:    make(map[int]bool),
+	}
+}
+
+// enqueue builds the initial pending list for n fresh tasks.
+func (ps *phaseSched) initial(n int, ready float64) []pendingEntry {
+	entries := make([]pendingEntry, n)
+	for i := range entries {
+		entries[i] = pendingEntry{task: i, ready: ready, seq: ps.nextSeq}
+		ps.nextSeq++
+	}
+	return entries
+}
+
+// end returns the phase end: the latest attempt end, floored at start.
+func (ps *phaseSched) end(start float64) float64 {
+	end := start
+	for i := range ps.attempts {
+		if e := ps.attempts[i].Start + ps.attempts[i].Dur; e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// run drains the pending list, launching every attempt (and the retries,
+// recomputes and backups it spawns) onto the slot pool. It errors only
+// when no surviving slot exists for a required (non-speculative) attempt.
+func (ps *phaseSched) run(pending []pendingEntry) error {
+	for len(pending) > 0 {
+		// Pop the entry with the smallest (ready, task, seq).
+		best := 0
+		for i := 1; i < len(pending); i++ {
+			a, b := pending[i], pending[best]
+			if a.ready < b.ready || (a.ready == b.ready && (a.task < b.task ||
+				(a.task == b.task && a.seq < b.seq))) {
+				best = i
+			}
+		}
+		e := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+
+		if e.speculative {
+			ps.launchBackup(e)
+			continue
+		}
+
+		slot, start, ok := ps.pool.acquire(e.ready)
+		if !ok {
+			return fmt.Errorf("%s phase of %s: no surviving nodes to run task %d", ps.phase, ps.job, e.task)
+		}
+		attemptIdx := ps.nextAttempt[e.task]
+		ps.nextAttempt[e.task]++
+
+		slow := ps.slowFactor(e.task, attemptIdx)
+		dur := ps.overhead + ps.taskDur*slow
+		outcome := OutcomeOK
+		if ps.plan.TaskFailureProb > 0 && ps.fails[e.task] < ps.plan.maxAttempts()-1 &&
+			ps.plan.roll("fail", ps.job, ps.phase, e.task, attemptIdx) < ps.plan.TaskFailureProb {
+			frac := 0.25 + 0.5*ps.plan.roll("frac", ps.job, ps.phase, e.task, attemptIdx)
+			dur = ps.overhead + ps.taskDur*slow*frac
+			outcome = OutcomeFailed
+		}
+		if d, dead := ps.pool.deathOf(slot); dead && start+dur > d {
+			dur = d - start
+			outcome = OutcomeNodeLost
+		}
+		end := start + dur
+		ps.pool.free[slot] = end
+		recIdx := len(ps.attempts)
+		ps.attempts = append(ps.attempts, TaskAttempt{
+			Phase: ps.phase, Task: e.task, Attempt: attemptIdx,
+			Node: slot % ps.pool.nodes, Start: start, Dur: dur,
+			Outcome: outcome, Recompute: e.recompute,
+		})
+
+		switch outcome {
+		case OutcomeOK:
+			ps.completions[e.task] = completion{at: end, node: slot % ps.pool.nodes}
+			if ps.spec.Enabled && slow >= ps.spec.threshold() && !ps.specDone[e.task] {
+				ps.specDone[e.task] = true
+				pending = append(pending, pendingEntry{
+					task: e.task, ready: start + ps.overhead + ps.taskDur, seq: ps.nextSeq,
+					speculative: true, origEnd: end, origIdx: recIdx, origSlot: slot,
+					recompute: e.recompute,
+				})
+				ps.nextSeq++
+			}
+		default: // failed or node-lost: relaunch from the failure instant
+			if outcome == OutcomeFailed {
+				ps.fails[e.task]++
+			}
+			ps.relaunches++
+			pending = append(pending, pendingEntry{
+				task: e.task, ready: end, seq: ps.nextSeq, recompute: e.recompute,
+			})
+			ps.nextSeq++
+		}
+	}
+	return nil
+}
+
+// launchBackup runs one speculative attempt racing its straggling
+// original. A backup that cannot start before the original finishes is
+// silently dropped; a backup overtaken by the original is killed at the
+// original's completion.
+func (ps *phaseSched) launchBackup(e pendingEntry) {
+	slot, start, ok := ps.pool.acquire(e.ready)
+	if !ok || start >= e.origEnd {
+		return
+	}
+	attemptIdx := ps.nextAttempt[e.task]
+	ps.nextAttempt[e.task]++
+	ps.specCount++
+
+	slow := ps.slowFactor(e.task, attemptIdx)
+	dur := ps.overhead + ps.taskDur*slow
+	outcome := OutcomeOK
+	if ps.plan.TaskFailureProb > 0 &&
+		ps.plan.roll("fail", ps.job, ps.phase, e.task, attemptIdx) < ps.plan.TaskFailureProb {
+		frac := 0.25 + 0.5*ps.plan.roll("frac", ps.job, ps.phase, e.task, attemptIdx)
+		dur = ps.overhead + ps.taskDur*slow*frac
+		outcome = OutcomeFailed
+	}
+	if d, dead := ps.pool.deathOf(slot); dead && start+dur > d {
+		dur = d - start
+		outcome = OutcomeNodeLost
+	}
+	end := start + dur
+	if end >= e.origEnd {
+		// The original finishes first: the backup is killed then.
+		outcome = OutcomeKilled
+		dur = e.origEnd - start
+		end = e.origEnd
+	}
+	ps.pool.free[slot] = end
+	ps.attempts = append(ps.attempts, TaskAttempt{
+		Phase: ps.phase, Task: e.task, Attempt: attemptIdx,
+		Node: slot % ps.pool.nodes, Start: start, Dur: dur,
+		Outcome: outcome, Speculative: true, Recompute: e.recompute,
+	})
+	if outcome == OutcomeOK {
+		// Backup won the race: it defines the completion and the original
+		// is killed, freeing its slot early.
+		ps.specWins++
+		ps.completions[e.task] = completion{at: end, node: slot % ps.pool.nodes}
+		orig := &ps.attempts[e.origIdx]
+		orig.Outcome = OutcomeKilled
+		orig.Dur = end - orig.Start
+		if ps.pool.free[e.origSlot] > end {
+			ps.pool.free[e.origSlot] = end
+		}
+	}
+}
+
+// slowFactor draws the straggler multiplier for one attempt.
+func (ps *phaseSched) slowFactor(task, attempt int) float64 {
+	if ps.plan.StragglerProb > 0 &&
+		ps.plan.roll("straggle", ps.job, ps.phase, task, attempt) < ps.plan.StragglerProb {
+		return ps.plan.stragglerFactor()
+	}
+	return 1
+}
+
+// recomputeLost relaunches map tasks whose completed output died with its
+// node: any completion on a node whose death falls inside (lo, hi]. It
+// returns the number of tasks relaunched this round.
+func (ps *phaseSched) recomputeLost(lo, hi float64) (int, error) {
+	var entries []pendingEntry
+	for task, c := range ps.completions {
+		d, dead := ps.pool.deaths[c.node]
+		if !dead || d <= lo || d > hi {
+			continue
+		}
+		entries = append(entries, pendingEntry{task: task, ready: d, seq: ps.nextSeq, recompute: true})
+		ps.nextSeq++
+	}
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	// Deterministic order: seq was assigned during map iteration; rebuild
+	// it sorted by task so the enqueue order never depends on map order.
+	for i := range entries {
+		for k := i + 1; k < len(entries); k++ {
+			if entries[k].task < entries[i].task {
+				entries[i], entries[k] = entries[k], entries[i]
+			}
+		}
+	}
+	for i := range entries {
+		entries[i].seq = ps.nextSeq
+		ps.nextSeq++
+	}
+	return len(entries), ps.run(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Fault-path costing
+// ---------------------------------------------------------------------------
+
+// faultsActive reports whether the engine must take the event-level
+// scheduling path. A nil or zero plan keeps the analytic path, which makes
+// fault-free runs byte-identical to a plan-free engine.
+func (e *Engine) faultsActive() bool {
+	return e.cluster.Faults != nil && !e.cluster.Faults.IsZero()
+}
+
+// costJobFaulty is the event-level counterpart of costJob: identical phase
+// bases, but phase times come from scheduling every task attempt under the
+// cluster's FaultPlan, and every extra attempt re-executes the user's
+// map/reduce code (reading its input again from the DFS replicas).
+func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombineBytes int64, tasks []mapTask, keys []string, groups map[string][]string) error {
+	cl := e.cluster
+	cm := cl.Cost
+	scale := cl.DataScale
+	nodes := cl.effectiveNodes()
+	plan := cl.Faults
+	deaths := plan.deathTimes()
+
+	inBytes := float64(s.MapInputBytes) * scale
+	inRecords := float64(s.MapInputRecords) * scale
+	preBytes := float64(preCombineBytes) * scale
+	outBytes := float64(s.MapOutputBytes) * scale
+	spillBytes := outBytes
+	var compressCPU float64
+	if cl.Compress {
+		spillBytes *= cm.CompressionRatio
+		compressCPU = outBytes * cm.CompressCPUPerByte
+	}
+
+	mapDisk := (inBytes + spillBytes) / (nodes * cm.DiskBandwidth)
+	mapCPU := (inRecords*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
+	mapBase := (math.Max(mapDisk, mapCPU) + compressCPU/cl.mapSlots()) * cl.loadFactor()
+	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
+	s.MapBottleneck = "disk"
+	if mapCPU > mapDisk {
+		s.MapBottleneck = "cpu"
+	}
+
+	shuffleBytes := float64(s.ShuffleBytes) * scale
+	shuffleNet := shuffleBytes / (nodes * cm.NetworkBandwidth)
+	var decompressCPU float64
+	if cl.Compress {
+		decompressCPU = shuffleBytes * cm.DecompressCPUPerByte / cl.reduceSlots()
+	}
+	shuffleTime := (shuffleNet + decompressCPU) * cl.loadFactor()
+
+	redInBytes := outBytes
+	redRecords := float64(s.ReduceWorkRecords) * scale
+	redOutBytes := float64(s.ReduceOutputBytes) * scale
+	repl := float64(cm.HDFSReplication - 1)
+	redDisk := (redInBytes + redOutBytes) / (nodes * cm.DiskBandwidth)
+	redNet := redOutBytes * repl / (nodes * cm.NetworkBandwidth)
+	redCPU := redRecords * cm.ReduceCPUPerRecord / cl.reduceSlots()
+	redBase := math.Max(redDisk+redNet, redCPU) * cl.loadFactor()
+	redWaves := math.Ceil(float64(s.NumReduceTasks) / cl.reduceSlots())
+	s.ReduceBottleneck = "disk+net"
+	if redCPU > redDisk+redNet {
+		s.ReduceBottleneck = "cpu"
+	}
+
+	s.StartupTime = cm.JobStartup
+	mapStart := e.simNow + s.StartupTime
+
+	// ----- Map phase, with in-phase recompute of output lost to node deaths.
+	mp := newPhaseSched(plan, cl.Speculation, j.Name, "map",
+		mapBase/mapWaves, cm.TaskOverhead,
+		newSlotPool(int(cl.mapSlots()), cl.Nodes, mapStart, deaths))
+	if err := mp.run(mp.initial(s.NumMapTasks, mapStart)); err != nil {
+		return err
+	}
+	for {
+		n, err := mp.recomputeLost(mapStart, mp.end(mapStart))
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		s.RecomputedMapTasks += n
+	}
+	mapEnd := mp.end(mapStart)
+
+	// ----- Shuffle: node deaths in the shuffle window lose map output that
+	// the reducers have not fetched yet; recovery extends the barrier.
+	shuffleEnd := mapEnd + shuffleTime
+	for {
+		n, err := mp.recomputeLost(mapEnd, shuffleEnd)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		s.RecomputedMapTasks += n
+		if end := mp.end(mapStart); end > shuffleEnd {
+			shuffleEnd = end
+		}
+	}
+
+	// ----- Reduce phase: completed output lives on the DFS, so deaths only
+	// kill in-flight attempts.
+	rp := newPhaseSched(plan, cl.Speculation, j.Name, "reduce",
+		redBase/redWaves, cm.TaskOverhead,
+		newSlotPool(int(cl.reduceSlots()), cl.Nodes, shuffleEnd, deaths))
+	if err := rp.run(rp.initial(s.NumReduceTasks, shuffleEnd)); err != nil {
+		return err
+	}
+	reduceEnd := rp.end(shuffleEnd)
+
+	s.MapTime = mapEnd - mapStart
+	s.ShuffleTime = shuffleEnd - mapEnd
+	s.ReduceTime = reduceEnd - shuffleEnd
+	e.fillFaultStats(s, mp, rp, e.simNow, reduceEnd)
+
+	if err := e.reexecuteMap(j, s, tasks, mp); err != nil {
+		return err
+	}
+	return e.reexecuteReduce(j, s, keys, groups, rp)
+}
+
+// costMapOnlyFaulty is the event-level counterpart of costMapOnly. Map
+// output goes straight to the replicated DFS, so like reduce output it
+// survives node deaths; only in-flight attempts are killed.
+func (e *Engine) costMapOnlyFaulty(j *Job, s *JobStats, preCombineRecords, preCombineBytes int64, tasks []mapTask) error {
+	cl := e.cluster
+	cm := cl.Cost
+	scale := cl.DataScale
+	nodes := cl.effectiveNodes()
+	plan := cl.Faults
+
+	inBytes := float64(s.MapInputBytes) * scale
+	inRecords := float64(s.MapInputRecords) * scale
+	outBytes := float64(s.ReduceOutputBytes) * scale
+	repl := float64(cm.HDFSReplication - 1)
+
+	mapDisk := (inBytes + outBytes) / (nodes * cm.DiskBandwidth)
+	mapNet := outBytes * repl / (nodes * cm.NetworkBandwidth)
+	mapCPU := inRecords * cm.MapCPUPerRecord / cl.mapSlots()
+	mapBase := math.Max(mapDisk+mapNet, mapCPU) * cl.loadFactor()
+	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
+	s.MapBottleneck = "disk+net"
+	if mapCPU > mapDisk+mapNet {
+		s.MapBottleneck = "cpu"
+	}
+
+	s.StartupTime = cm.JobStartup
+	mapStart := e.simNow + s.StartupTime
+	mp := newPhaseSched(plan, cl.Speculation, j.Name, "map",
+		mapBase/mapWaves, cm.TaskOverhead,
+		newSlotPool(int(cl.mapSlots()), cl.Nodes, mapStart, plan.deathTimes()))
+	if err := mp.run(mp.initial(s.NumMapTasks, mapStart)); err != nil {
+		return err
+	}
+	mapEnd := mp.end(mapStart)
+	s.MapTime = mapEnd - mapStart
+	e.fillFaultStats(s, mp, nil, e.simNow, mapEnd)
+	return e.reexecuteMap(j, s, tasks, mp)
+}
+
+// fillFaultStats copies the schedulers' recovery accounting into JobStats.
+func (e *Engine) fillFaultStats(s *JobStats, mp, rp *phaseSched, jobStart, jobEnd float64) {
+	s.MapTaskRetries = mp.relaunches
+	s.SpeculativeTasks = mp.specCount
+	s.SpeculativeWins = mp.specWins
+	s.Attempts = append(s.Attempts, mp.attempts...)
+	if rp != nil {
+		s.ReduceTaskRetries = rp.relaunches
+		s.SpeculativeTasks += rp.specCount
+		s.SpeculativeWins += rp.specWins
+		s.Attempts = append(s.Attempts, rp.attempts...)
+	}
+	for _, nf := range e.cluster.Faults.NodeFailures {
+		if nf.At >= jobStart && nf.At <= jobEnd {
+			s.NodeFailures++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Re-execution through the real user-code path
+// ---------------------------------------------------------------------------
+
+// reexecuteMap replays the mapper (and combiner) for every scheduled map
+// execution beyond each task's first: retries, recomputes and speculative
+// backups all re-read the task's input from the DFS (the surviving
+// replicas) and run the real user code again. The first execution's
+// output — already collected by the primary pass — stays canonical, so a
+// fault-injected run is byte-identical to a fault-free one.
+func (e *Engine) reexecuteMap(j *Job, s *JobStats, tasks []mapTask, mp *phaseSched) error {
+	extra := make(map[int]int)
+	for _, a := range mp.attempts {
+		extra[a.Task]++
+	}
+	for task := 0; task < s.NumMapTasks; task++ {
+		if task >= len(tasks) {
+			break // phantom cost-model task with no data of its own
+		}
+		for n := extra[task] - 1; n > 0; n-- {
+			mt := tasks[task]
+			if _, err := e.dfs.Read(mt.input.Path); err != nil {
+				return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
+			}
+			var taskPairs []kv
+			emit := func(key, value string) {
+				taskPairs = append(taskPairs, kv{key, value})
+			}
+			for _, line := range mt.chunk {
+				if err := mt.input.Mapper.Map(line, emit); err != nil {
+					return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
+				}
+			}
+			if j.Reducer != nil && j.Combiner != nil {
+				if _, err := combineTask(taskPairs, j.Combiner); err != nil {
+					return fmt.Errorf("combine retry: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reexecuteReduce replays the reducer for every scheduled reduce execution
+// beyond each task's first, over the key groups hash-partitioned to that
+// task. Outputs are discarded — the primary pass's output is canonical.
+func (e *Engine) reexecuteReduce(j *Job, s *JobStats, keys []string, groups map[string][]string, rp *phaseSched) error {
+	extra := make(map[int]int)
+	for _, a := range rp.attempts {
+		extra[a.Task]++
+	}
+	discard := func(string) {}
+	for task := 0; task < s.NumReduceTasks; task++ {
+		for n := extra[task] - 1; n > 0; n-- {
+			for _, k := range keys {
+				if partitionOf(k, s.NumReduceTasks) != task {
+					continue
+				}
+				if err := j.Reducer.Reduce(k, groups[k], discard); err != nil {
+					return fmt.Errorf("reduce retry key %q: %w", k, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -50,6 +50,28 @@ type JobStats struct {
 	// cost-model provenance surfaced in traces and explain -analyze.
 	MapBottleneck    string
 	ReduceBottleneck string
+
+	// Event-level fault recovery, filled only when the cluster carries an
+	// active FaultPlan (all zero and nil otherwise, so fault-free runs stay
+	// byte-identical to a plan-free engine).
+	MapTaskRetries     int // failed or node-lost map attempts that relaunched
+	ReduceTaskRetries  int // failed or node-lost reduce attempts that relaunched
+	RecomputedMapTasks int // completed map tasks re-executed after a node death
+	SpeculativeTasks   int // backup attempts launched for stragglers
+	SpeculativeWins    int // backups that finished before their original
+	NodeFailures       int // node deaths falling inside this job's span
+	// Attempts is the full per-attempt schedule of a fault-injected run,
+	// map phase first (absolute simulated times; nil on the analytic path).
+	Attempts []TaskAttempt
+}
+
+// Retries reports all relaunched attempts across both phases.
+func (s *JobStats) Retries() int { return s.MapTaskRetries + s.ReduceTaskRetries }
+
+// HasRecovery reports whether any fault-recovery activity happened in this
+// job (retries, recomputes or speculative backups).
+func (s *JobStats) HasRecovery() bool {
+	return s.Retries()+s.RecomputedMapTasks+s.SpeculativeTasks > 0
 }
 
 // TotalTime is the job's end-to-end simulated duration including the
@@ -62,10 +84,16 @@ func (s *JobStats) TotalTime() float64 {
 // the paper's breakdown figures) attribute time to the "reduce phase".
 func (s *JobStats) ReducePhaseTime() float64 { return s.ShuffleTime + s.ReduceTime }
 
+// String renders the one-line per-job summary of the execution report.
 func (s *JobStats) String() string {
-	return fmt.Sprintf("%s: map %.0fs (%d tasks, in %s, out %s) reduce %.0fs (%d tasks, %d groups) total %.0fs",
+	out := fmt.Sprintf("%s: map %.0fs (%d tasks, in %s, out %s) reduce %.0fs (%d tasks, %d groups) total %.0fs",
 		s.Name, s.MapTime, s.NumMapTasks, obs.FormatBytes(s.MapInputBytes), obs.FormatBytes(s.MapOutputBytes),
 		s.ReducePhaseTime(), s.NumReduceTasks, s.ReduceGroups, s.TotalTime())
+	if s.HasRecovery() {
+		out += fmt.Sprintf(" [retries %d, recomputed %d, speculative %d won %d]",
+			s.Retries(), s.RecomputedMapTasks, s.SpeculativeTasks, s.SpeculativeWins)
+	}
+	return out
 }
 
 // ChainStats aggregates a job chain (one query execution).
@@ -105,6 +133,34 @@ func (c *ChainStats) TotalShuffleBytes() int64 {
 	return n
 }
 
+// TotalRetries sums relaunched task attempts over the chain.
+func (c *ChainStats) TotalRetries() int {
+	var n int
+	for _, j := range c.Jobs {
+		n += j.Retries()
+	}
+	return n
+}
+
+// TotalRecomputed sums node-death map recomputes over the chain.
+func (c *ChainStats) TotalRecomputed() int {
+	var n int
+	for _, j := range c.Jobs {
+		n += j.RecomputedMapTasks
+	}
+	return n
+}
+
+// TotalSpeculative sums speculative backups launched over the chain.
+func (c *ChainStats) TotalSpeculative() int {
+	var n int
+	for _, j := range c.Jobs {
+		n += j.SpeculativeTasks
+	}
+	return n
+}
+
+// String renders every job's summary line plus the chain total.
 func (c *ChainStats) String() string {
 	var sb strings.Builder
 	for _, j := range c.Jobs {

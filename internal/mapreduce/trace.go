@@ -43,6 +43,7 @@ func (e *Engine) emitJobTrace(j *Job, s *JobStats, start float64) {
 		obs.F("output_records", s.ReduceOutputRecords),
 		obs.F("output_bytes", s.ReduceOutputBytes)))
 
+	faulty := len(s.Attempts) > 0
 	t := start
 	if s.StartupTime > 0 {
 		e.tracer.Emit(obs.SpanEvent("phase", "startup", track, t, s.StartupTime))
@@ -51,7 +52,9 @@ func (e *Engine) emitJobTrace(j *Job, s *JobStats, start float64) {
 	e.tracer.Emit(obs.SpanEvent("phase", "map", track, t, s.MapTime,
 		obs.F("tasks", int64(s.NumMapTasks)),
 		obs.F("bottleneck", s.MapBottleneck)))
-	e.emitWaves(track, "map", t, s.MapTime, s.NumMapTasks, int(e.cluster.mapSlots()))
+	if !faulty {
+		e.emitWaves(track, "map", t, s.MapTime, s.NumMapTasks, int(e.cluster.mapSlots()))
+	}
 	t += s.MapTime
 
 	if !s.MapOnly {
@@ -62,8 +65,13 @@ func (e *Engine) emitJobTrace(j *Job, s *JobStats, start float64) {
 			obs.F("tasks", int64(s.NumReduceTasks)),
 			obs.F("groups", s.ReduceGroups),
 			obs.F("bottleneck", s.ReduceBottleneck)))
-		e.emitWaves(track, "reduce", t, s.ReduceTime, s.NumReduceTasks, int(e.cluster.reduceSlots()))
+		if !faulty {
+			e.emitWaves(track, "reduce", t, s.ReduceTime, s.NumReduceTasks, int(e.cluster.reduceSlots()))
+		}
 		t += s.ReduceTime
+	}
+	if faulty {
+		e.emitAttempts(track, s, start, t)
 	}
 
 	// Output replication to the DFS completes with the final phase.
@@ -121,6 +129,53 @@ func (e *Engine) emitWaves(track, phase string, start, dur float64, tasks, slots
 	}
 }
 
+// emitAttempts emits the event-level schedule of a fault-injected job:
+// one span per task attempt (cat "attempt", "retry" for relaunches and
+// recomputes, "spec" for speculative backups) plus a "fault" instant for
+// every node death inside the job's span. Ordinary first attempts respect
+// the maxTracedTasks cap; recovery spans are always emitted because they
+// are rare and are the point of the trace.
+func (e *Engine) emitAttempts(track string, s *JobStats, start, end float64) {
+	elided := make(map[string]bool)
+	for _, a := range s.Attempts {
+		cat := "attempt"
+		switch {
+		case a.Speculative:
+			cat = "spec"
+		case a.Attempt > 0 || a.Outcome != OutcomeOK:
+			cat = "retry"
+		}
+		phaseTasks := s.NumMapTasks
+		if a.Phase == "reduce" {
+			phaseTasks = s.NumReduceTasks
+		}
+		if cat == "attempt" && phaseTasks > maxTracedTasks {
+			if !elided[a.Phase] {
+				elided[a.Phase] = true
+				e.tracer.Emit(obs.InstantEvent("task", "tasks-elided", track, a.Start,
+					obs.F("phase", a.Phase), obs.F("tasks", int64(phaseTasks))))
+			}
+			continue
+		}
+		args := []obs.Field{
+			obs.F("node", int64(a.Node)),
+			obs.F("outcome", a.Outcome),
+		}
+		if a.Recompute {
+			args = append(args, obs.F("recompute", "true"))
+		}
+		e.tracer.Emit(obs.SpanEvent(cat,
+			fmt.Sprintf("%s-task-%d-a%d", a.Phase, a.Task, a.Attempt), track,
+			a.Start, a.Dur, args...))
+	}
+	for _, nf := range e.cluster.Faults.NodeFailures {
+		if nf.At >= start && nf.At <= end {
+			e.tracer.Emit(obs.InstantEvent("fault", "node-failure", track, nf.At,
+				obs.F("node", int64(nf.Node))))
+		}
+	}
+}
+
 // recordJobMetrics adds one job's counters to the registry.
 func (e *Engine) recordJobMetrics(s *JobStats) {
 	m := e.metrics
@@ -142,6 +197,14 @@ func (e *Engine) recordJobMetrics(s *JobStats) {
 	for _, d := range s.Dispatch {
 		m.Add("ysmart_cmf_op_input_rows_total", float64(d.InRows), "op", d.Op)
 		m.Add("ysmart_cmf_op_output_rows_total", float64(d.OutRows), "op", d.Op)
+	}
+	if e.faultsActive() {
+		m.Add("ysmart_engine_task_retries_total", float64(s.MapTaskRetries), "phase", "map")
+		m.Add("ysmart_engine_task_retries_total", float64(s.ReduceTaskRetries), "phase", "reduce")
+		m.Add("ysmart_engine_recomputed_map_tasks_total", float64(s.RecomputedMapTasks))
+		m.Add("ysmart_engine_speculative_tasks_total", float64(s.SpeculativeTasks))
+		m.Add("ysmart_engine_speculative_wins_total", float64(s.SpeculativeWins))
+		m.Add("ysmart_engine_node_failures_total", float64(s.NodeFailures))
 	}
 }
 

@@ -9,13 +9,16 @@ import (
 // job, scaled to width columns. Phases are drawn with distinct characters
 // (gap '~', startup ':', map 'M', shuffle 'S', reduce 'R'), so task waves,
 // phase overlapped-ness and scheduling gaps are visible in a terminal
-// without leaving the shell.
+// without leaving the shell. Fault-injected runs overlay recovery activity
+// on the phase bars: 'x' where a failed or node-lost attempt was retried
+// (or a lost map task recomputed), 'b' where a speculative backup ran.
 func Timeline(events []Event, width int) string {
 	if width < 20 {
 		width = 20
 	}
 	var jobs []Event
-	byTrack := make(map[string][]Event) // phase and gap spans per track
+	byTrack := make(map[string][]Event)  // phase and gap spans per track
+	recovery := make(map[string][]Event) // retry and speculative spans per track
 	for _, e := range events {
 		if e.Kind != Span {
 			continue
@@ -25,6 +28,8 @@ func Timeline(events []Event, width int) string {
 			jobs = append(jobs, e)
 		case "phase", "gap":
 			byTrack[e.Track] = append(byTrack[e.Track], e)
+		case "retry", "spec":
+			recovery[e.Track] = append(recovery[e.Track], e)
 		}
 	}
 	if len(jobs) == 0 {
@@ -69,6 +74,7 @@ func Timeline(events []Event, width int) string {
 	}
 
 	var sb strings.Builder
+	var sawRetry, sawSpec bool
 	fmt.Fprintf(&sb, "timeline: %d job(s), %.0fs simulated\n", len(jobs), total)
 	endLabel := fmt.Sprintf("%.0fs", total)
 	dashes := width - 2 - len(endLabel)
@@ -111,6 +117,16 @@ func Timeline(events []Event, width int) string {
 			}
 			fill(p.Time, p.End(), ch)
 		}
+		for _, p := range recovery[j.Track] {
+			ch := byte('x')
+			if p.Cat == "spec" {
+				ch = 'b'
+				sawSpec = true
+			} else {
+				sawRetry = true
+			}
+			fill(p.Time, p.End(), ch)
+		}
 		name := j.Name
 		if len(name) > labelW {
 			name = name[:labelW-1] + "…"
@@ -124,6 +140,13 @@ func Timeline(events []Event, width int) string {
 		}
 		sb.WriteByte('\n')
 	}
-	sb.WriteString("legend: ~ gap  : startup  M map  S shuffle  R reduce\n")
+	legend := "legend: ~ gap  : startup  M map  S shuffle  R reduce"
+	if sawRetry {
+		legend += "  x retry"
+	}
+	if sawSpec {
+		legend += "  b speculative"
+	}
+	sb.WriteString(legend + "\n")
 	return sb.String()
 }

@@ -126,15 +126,22 @@ func jobStatsLabel(js *mapreduce.JobStats) string {
 	if js == nil {
 		return ""
 	}
+	label := ""
 	if js.MapOnly {
-		return fmt.Sprintf("\\nmap %.0fs [%s]\\nin %s, out %s",
+		label = fmt.Sprintf("\\nmap %.0fs [%s]\\nin %s, out %s",
 			js.MapTime, js.MapBottleneck,
 			obs.FormatBytes(js.MapInputBytes), obs.FormatBytes(js.ReduceOutputBytes))
+	} else {
+		label = fmt.Sprintf("\\nmap %.0fs [%s] | shuffle %.0fs | reduce %.0fs [%s]\\nin %s, shuffle %s, out %s",
+			js.MapTime, js.MapBottleneck, js.ShuffleTime, js.ReduceTime, js.ReduceBottleneck,
+			obs.FormatBytes(js.MapInputBytes), obs.FormatBytes(js.ShuffleBytes),
+			obs.FormatBytes(js.ReduceOutputBytes))
 	}
-	return fmt.Sprintf("\\nmap %.0fs [%s] | shuffle %.0fs | reduce %.0fs [%s]\\nin %s, shuffle %s, out %s",
-		js.MapTime, js.MapBottleneck, js.ShuffleTime, js.ReduceTime, js.ReduceBottleneck,
-		obs.FormatBytes(js.MapInputBytes), obs.FormatBytes(js.ShuffleBytes),
-		obs.FormatBytes(js.ReduceOutputBytes))
+	if js.HasRecovery() {
+		label += fmt.Sprintf("\\nrecovery: %d retries, %d recomputed, %d speculative (%d won)",
+			js.Retries(), js.RecomputedMapTasks, js.SpeculativeTasks, js.SpeculativeWins)
+	}
+	return label
 }
 
 func sanitizeDot(s string) string {

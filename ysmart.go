@@ -60,6 +60,16 @@ type (
 	Translation = translator.Translation
 	// ChainStats reports per-job counters and simulated times.
 	ChainStats = mapreduce.ChainStats
+	// FaultPlan is a deterministic, seeded fault-injection scenario
+	// (task failures, node deaths, stragglers) attached to Cluster.Faults.
+	FaultPlan = mapreduce.FaultPlan
+	// NodeFailure kills one node at an absolute simulated time.
+	NodeFailure = mapreduce.NodeFailure
+	// Speculation configures backup attempts for straggling tasks.
+	Speculation = mapreduce.Speculation
+	// TaskAttempt is one scheduled execution attempt in a fault-injected
+	// run (JobStats.Attempts).
+	TaskAttempt = mapreduce.TaskAttempt
 	// Tracer receives span and instant events from an instrumented run.
 	Tracer = obs.Tracer
 	// TraceEvent is one emitted span or instant.
@@ -122,6 +132,10 @@ func WorkloadQueries() map[string]string { return queries.Named() }
 
 // TablePath is the DFS path a base table is loaded at.
 func TablePath(table string) string { return translator.TablePath(table) }
+
+// ParseFaultSpec parses the compact fault DSL of the -faults CLI flag
+// (e.g. "task=0.1,straggler=0.05x6,node=2@500") into a FaultPlan.
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return mapreduce.ParseFaultSpec(spec) }
 
 // ---------------------------------------------------------------------------
 // Query: parse + plan + analyze
