@@ -1,0 +1,84 @@
+// Command ysmart-vet runs the repo's custom static-analysis suite: the
+// analyzers in internal/lint that enforce the invariants the simulator's
+// correctness rests on — deterministic replay (no wall-clock, no global
+// rand, no map-ordered emission), common-MapReduce tag/dispatch
+// agreement, paired trace spans, and no fresh uses of deprecated API.
+//
+// Usage:
+//
+//	ysmart-vet [-list] [-check a,b] [package patterns]
+//
+// With no patterns it vets ./... from the current directory, applying
+// each analyzer's package scope. Explicit directory patterns bypass the
+// scopes (used by the golden corpora). Exit status is 1 when any
+// diagnostic is reported and 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ysmart/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ysmart-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	check := fs.String("check", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Fprintf(stdout, "%-12s %s (%s)\n", a.Name, a.Doc, scope)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers
+	if *check != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range lint.Analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*check, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "ysmart-vet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Vet(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "ysmart-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout/stderr redirected to pipes and returns
+// the exit code plus both streams.
+func capture(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errR, errW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outW, errW)
+	outW.Close()
+	errW.Close()
+	var ob, eb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := outR.Read(buf)
+		ob.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	for {
+		n, err := errR.Read(buf)
+		eb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return code, ob.String(), eb.String()
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "tagdispatch", "spanpair", "deprecated"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := capture(t, []string{"-check", "nope"})
+	if code != 2 {
+		t.Fatalf("unknown -check exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errOut)
+	}
+}
+
+// TestCorpusExitsNonZero runs the CLI against a golden corpus directory;
+// it must report diagnostics with file:line positions and exit 1.
+func TestCorpusExitsNonZero(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "determinism")
+	code, out, errOut := capture(t, []string{dir})
+	if code != 1 {
+		t.Fatalf("corpus exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(out, "determinism.go:") || !strings.Contains(out, "[determinism]") {
+		t.Errorf("diagnostics missing file:line or check tag:\n%s", out)
+	}
+}
+
+// TestDriverErrorExitsTwo: a pattern naming a directory with no Go files
+// is a driver error, not a clean run.
+func TestDriverErrorExitsTwo(t *testing.T) {
+	code, _, errOut := capture(t, []string{t.TempDir()})
+	if code != 2 {
+		t.Fatalf("driver error exit = %d, want 2", code)
+	}
+	if errOut == "" {
+		t.Error("driver error produced no stderr")
+	}
+}

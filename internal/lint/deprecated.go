@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprecated flags uses of module identifiers whose doc comment carries
+// a "Deprecated:" paragraph (the standard Go convention). Declarations
+// themselves are not flagged — a deprecated field may legitimately live
+// on as documented fallback — but every read or write of one is, so
+// retired plumbing cannot creep back in. Sites that must keep touching
+// the field (its own validator, for instance) annotate with
+// `// lint:ignore deprecated <reason>`.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "flag uses of identifiers documented as Deprecated:",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(pass *Pass) {
+	deprecated := pass.Prog.deprecatedObjects()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if note, ok := deprecated[obj]; ok {
+				pass.Reportf(id.Pos(), "%s is deprecated: %s", id.Name, note)
+			}
+			return true
+		})
+	}
+}
+
+// deprecatedObjects scans every loaded module package once for
+// declarations documented "Deprecated:" and maps their objects to the
+// first line of the deprecation note.
+func (prog *Program) deprecatedObjects() map[types.Object]string {
+	if prog.deprecatedOnce {
+		return prog.deprecated
+	}
+	prog.deprecatedOnce = true
+	prog.deprecated = make(map[types.Object]string)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			collectDeprecated(pkg, file, prog.deprecated)
+		}
+	}
+	return prog.deprecated
+}
+
+// collectDeprecated records the deprecated declarations of one file.
+func collectDeprecated(pkg *Package, file *ast.File, out map[types.Object]string) {
+	mark := func(id *ast.Ident, note string) {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			out[obj] = note
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if note, ok := deprecationNote(n.Doc); ok {
+				mark(n.Name, note)
+			}
+		case *ast.GenDecl:
+			declNote, declOK := deprecationNote(n.Doc)
+			for _, spec := range n.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if note, ok := deprecationNote(s.Doc); ok {
+						mark(s.Name, note)
+					} else if declOK {
+						mark(s.Name, declNote)
+					}
+				case *ast.ValueSpec:
+					if note, ok := deprecationNote(s.Doc); ok {
+						for _, name := range s.Names {
+							mark(name, note)
+						}
+					} else if declOK {
+						for _, name := range s.Names {
+							mark(name, declNote)
+						}
+					}
+				}
+			}
+		case *ast.StructType:
+			if n.Fields == nil {
+				return true
+			}
+			for _, f := range n.Fields.List {
+				note, ok := deprecationNote(f.Doc)
+				if !ok {
+					note, ok = deprecationNote(f.Comment)
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					mark(name, note)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// deprecationNote extracts the first line of a "Deprecated:" paragraph
+// from a comment group.
+func deprecationNote(cg *ast.CommentGroup) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(cg.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

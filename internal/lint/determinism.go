@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags the three sources of hidden nondeterminism that
+// break byte-identical replay in the simulator's data paths: wall-clock
+// reads, the globally seeded math/rand functions, and map iteration
+// that feeds an emission path unsorted. The scope is the packages whose
+// outputs must reproduce exactly — the engine, the CMF, the shared data
+// model, and the translator.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag time.Now, global math/rand, and unsorted map-range emission in replayed packages",
+	Packages: []string{
+		"internal/mapreduce",
+		"internal/cmf",
+		"internal/exec",
+		"internal/translator",
+	},
+	Run: runDeterminism,
+}
+
+// randConstructors are the package-level math/rand functions that build
+// generators rather than draw from the global one; they are the
+// *supported* way to get deterministic randomness and are never
+// flagged.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeEmission(pass, file, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDeterministicCall flags time.Now and global math/rand draws.
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now reads the wall clock; use the simulated clock so runs replay byte-identically")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global generator; use a *rand.Rand seeded from the cluster/plan seed", fn.Name())
+		}
+	}
+}
+
+// checkMapRangeEmission flags `range m` over a map whose body emits
+// (calls an emit/output/write function or appends to a result declared
+// outside the loop) when the enclosing function does not sort afterward.
+// Map iteration order is randomized per run, so such a loop makes the
+// emission order — and therefore the simulated byte stream — differ
+// between identical runs.
+func checkMapRangeEmission(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.Pkg.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	how := emissionIn(pass, rng)
+	if how == "" {
+		return
+	}
+	if sortsAfter(pass, file, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order feeds %s without a later sort; iterate sorted keys so emission order replays", how)
+}
+
+// emissionIn scans the range body for an order-sensitive emission and
+// describes the first one found ("" when none).
+func emissionIn(pass *Pass, rng *ast.RangeStmt) string {
+	var how string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if how != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(n)
+			lower := strings.ToLower(name)
+			if strings.HasPrefix(lower, "emit") || strings.HasPrefix(lower, "output") ||
+				strings.HasPrefix(lower, "write") {
+				how = "a call to " + name
+				return false
+			}
+			if name == "append" {
+				if dest := appendTarget(pass, n, rng); dest != "" {
+					how = "an append to " + dest
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return how
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// appendTarget reports the name of the slice being grown when the
+// append's first argument is a variable declared outside the range
+// statement (an accumulating result), "" otherwise.
+func appendTarget(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil || obj.Pos() == 0 {
+		return ""
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return "" // loop-local scratch
+	}
+	return id.Name
+}
+
+// sortsAfter reports whether the enclosing function calls into package
+// sort lexically after the range statement — the collect-then-sort
+// idiom that restores a deterministic order before anything escapes.
+func sortsAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt) bool {
+	body := enclosingFuncBody(file, rng.Pos())
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

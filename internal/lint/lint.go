@@ -1,0 +1,224 @@
+// Package lint is ysmart's project-specific static-analysis suite: a
+// small go/parser + go/types analyzer framework (stdlib only, no
+// golang.org/x/tools dependency) plus the four analyzers behind the
+// `ysmart-vet` CI gate. The analyzers machine-check invariants the Go
+// compiler cannot see but replay and CMF correctness depend on:
+//
+//   - determinism: no wall-clock reads, no unseeded global math/rand,
+//     no map-iteration-ordered emission in the simulator's data paths;
+//   - tagdispatch: a CommonJob built from literals must write only ops
+//     it evaluates, with distinct tags, and every would-be cmf.Op type
+//     must implement the full Name/Sources/Eval triple;
+//   - spanpair: every obs.Begin span must be Ended on every return path
+//     of its function;
+//   - deprecated: no new uses of identifiers documented "Deprecated:".
+//
+// A diagnostic on a deliberate exception is silenced with a trailing or
+// preceding `// lint:ignore <check> reason` comment.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzers is the full ysmart-vet suite in stable order.
+var Analyzers = []*Analyzer{Determinism, TagDispatch, SpanPair, Deprecated}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the check's identifier, used in diagnostics, -check
+	// selection, and lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `ysmart-vet -list`.
+	Doc string
+	// Packages restricts the analyzer to module packages whose
+	// module-relative import path starts with one of these prefixes. An
+	// empty list applies the analyzer to every package. Explicitly named
+	// package arguments (as opposed to ./... expansion) bypass the
+	// restriction, which is how the testdata corpora are vetted.
+	Packages []string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// appliesTo reports whether the analyzer's package scope covers the
+// module-relative package path rel.
+func (a *Analyzer) appliesTo(rel string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the file:line:col form CI consumes.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass is one analyzer's view of one package under analysis.
+type Pass struct {
+	// Prog is the loaded program, giving cross-package context (the
+	// deprecated analyzer scans every module package for Deprecated:
+	// declarations regardless of which package it is vetting).
+	Prog *Program
+	// Pkg is the package under analysis.
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Vet runs the analyzers over the packages matched by patterns (./...
+// or explicit directory paths) under the module rooted at or above dir.
+// Diagnostics silenced by lint:ignore directives are dropped; the rest
+// come back sorted by position.
+func Vet(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog, targets, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, t := range targets {
+		for _, a := range analyzers {
+			if !t.Explicit && !a.appliesTo(t.Pkg.Rel) {
+				continue
+			}
+			diags = append(diags, runOne(prog, t.Pkg, a)...)
+		}
+	}
+	sort.Slice(diags, func(i, k int) bool {
+		a, b := diags[i], diags[k]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+// runOne applies one analyzer to one package and filters ignored
+// diagnostics.
+func runOne(prog *Program, pkg *Package, a *Analyzer) []Diagnostic {
+	pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a}
+	a.Run(pass)
+	if len(pass.diags) == 0 {
+		return nil
+	}
+	ig := ignoresOf(prog.Fset, pkg)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !ig.silences(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignoreSet records, per file and line, the checks silenced by
+// lint:ignore directives.
+type ignoreSet map[string]map[int]map[string]bool
+
+// ignoresOf collects the package's lint:ignore directives. A directive
+// silences matching diagnostics on its own line; a directive whose
+// comment group stands alone (no code before it on its last line) also
+// silences the line immediately below the group, the staticcheck
+// convention for annotating a whole statement.
+func ignoresOf(fset *token.FileSet, pkg *Package) ignoreSet {
+	ig := make(ignoreSet)
+	add := func(file string, line int, checks []string) {
+		if ig[file] == nil {
+			ig[file] = make(map[int]map[string]bool)
+		}
+		if ig[file][line] == nil {
+			ig[file][line] = make(map[string]bool)
+		}
+		for _, c := range checks {
+			ig[file][line][c] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, checks)
+				add(pos.Filename, pos.Line+1, checks)
+			}
+		}
+	}
+	return ig
+}
+
+// silences reports whether the diagnostic is covered by a directive.
+func (ig ignoreSet) silences(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	checks := lines[d.Pos.Line]
+	if checks == nil {
+		return false
+	}
+	return checks[d.Check] || checks["*"]
+}
+
+// enclosingFuncBody returns the body of the innermost function (decl or
+// literal) containing pos in file, or nil. Analyzers use it to scope
+// "later in the same function" reasoning.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanPair enforces the obs.ActiveSpan contract: a span opened with
+// obs.Begin must be Ended on every return path of the function that
+// opened it — otherwise a traced run drops the span (or, worse, drops
+// it only on error paths, making traces differ between replays that
+// should be byte-identical). `defer span.End(...)` satisfies every
+// path at once. A span handle that escapes the function (passed to a
+// call, stored, or returned) transfers the obligation and is not
+// tracked further.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "flag obs.Begin spans not Ended on every return path of the enclosing function",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpanFn(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// spanWalker tracks, along one control-flow path, the spans begun but
+// not yet ended. Branches fork the state and merge by union (a span
+// open on any surviving path stays an obligation), the conservative
+// join for a must-end property.
+type spanWalker struct {
+	pass *Pass
+	// reported dedups diagnostics per Begin site.
+	reported map[token.Pos]bool
+}
+
+// openSpans maps each live span variable to its Begin position.
+type openSpans map[*types.Var]token.Pos
+
+func (o openSpans) clone() openSpans {
+	c := make(openSpans, len(o))
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+func (o openSpans) union(other openSpans) {
+	for k, v := range other {
+		o[k] = v
+	}
+}
+
+// checkSpanFn runs the walker over one function body. Nested function
+// literals are separate scopes checked by their own walk; the outer
+// walk does not descend into them (a Begin inside a closure must End
+// inside that closure or escape it).
+func checkSpanFn(pass *Pass, body *ast.BlockStmt) {
+	w := &spanWalker{pass: pass, reported: make(map[token.Pos]bool)}
+	open := make(openSpans)
+	terminated := w.walkStmts(body.List, open)
+	if !terminated {
+		// Falling off the end of the body is a return path too.
+		for v, pos := range open {
+			w.report(pos, v, body.End())
+		}
+	}
+}
+
+func (w *spanWalker) report(beginPos token.Pos, v *types.Var, exitPos token.Pos) {
+	if w.reported[beginPos] {
+		return
+	}
+	w.reported[beginPos] = true
+	exit := w.pass.Prog.Fset.Position(exitPos)
+	w.pass.Reportf(beginPos,
+		"span %s begun here is not Ended on the return path at line %d; End it on every path (defer span.End(...))",
+		v.Name(), exit.Line)
+}
+
+// walkStmts walks a statement list, updating open in place. It returns
+// true when the list terminates (returns or panics) on every path.
+func (w *spanWalker) walkStmts(list []ast.Stmt, open openSpans) bool {
+	for _, s := range list {
+		if w.walkStmt(s, open) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt handles one statement; reports and returns true when the
+// statement terminates every path through it.
+func (w *spanWalker) walkStmt(s ast.Stmt, open openSpans) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.trackAssign(s, open)
+	case *ast.ExprStmt:
+		if v := w.endedVar(s.X); v != nil {
+			delete(open, v)
+			return false
+		}
+		w.escapeUses(s.X, open)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true // unwinding runs deferred Ends, not explicit ones
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred End (direct or inside a deferred closure) covers
+		// every path from here on.
+		if v := w.endedVar(s.Call); v != nil {
+			delete(open, v)
+		} else {
+			for v := range open {
+				if usesVar(s.Call, w.pass, v) {
+					delete(open, v)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.escapeUses(r, open)
+		}
+		for v, pos := range open {
+			w.report(pos, v, s.Pos())
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, open)
+		}
+		thenOpen := open.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenOpen)
+		elseOpen := open.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseOpen)
+		}
+		for k := range open {
+			delete(open, k)
+		}
+		if !thenTerm {
+			open.union(thenOpen)
+		}
+		if !elseTerm {
+			open.union(elseOpen)
+		}
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, open)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, open)
+		}
+		bodyOpen := open.clone()
+		w.walkStmts(s.Body.List, bodyOpen)
+		open.union(bodyOpen)
+	case *ast.RangeStmt:
+		bodyOpen := open.clone()
+		w.walkStmts(s.Body.List, bodyOpen)
+		open.union(bodyOpen)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, open)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, open)
+	case *ast.GoStmt:
+		w.escapeUses(s.Call, open)
+	case *ast.DeclStmt:
+		// var sp = obs.Begin(...) — rare, but track it.
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == 1 && len(vs.Values) == 1 {
+					w.trackDefine(vs.Names[0], vs.Values[0], open)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkBranches handles switch/type-switch/select: each clause forks the
+// state; the merged result is the union of non-terminating clauses. The
+// statement terminates only if every clause terminates and (for
+// switches) a default clause exists.
+func (w *spanWalker) walkBranches(s ast.Stmt, open openSpans) bool {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, open)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, open)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	merged := make(openSpans)
+	allTerm := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		}
+		cOpen := open.clone()
+		if !w.walkStmts(body, cOpen) {
+			allTerm = false
+			merged.union(cOpen)
+		}
+	}
+	if !hasDefault {
+		merged.union(open)
+		allTerm = false
+	}
+	for k := range open {
+		delete(open, k)
+	}
+	open.union(merged)
+	return allTerm
+}
+
+// trackAssign records spans begun by `x := obs.Begin(...)` (or plain
+// assignment) and treats other appearances of tracked vars as escapes.
+func (w *spanWalker) trackAssign(s *ast.AssignStmt, open openSpans) {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			w.trackDefine(id, s.Rhs[0], open)
+			return
+		}
+	}
+	for _, r := range s.Rhs {
+		w.escapeUses(r, open)
+	}
+}
+
+// trackDefine binds a Begin call's result to the variable named by id.
+func (w *spanWalker) trackDefine(id *ast.Ident, rhs ast.Expr, open openSpans) {
+	if id.Name == "_" {
+		if _, bare := rhs.(*ast.Ident); bare {
+			return // `_ = sp` satisfies the compiler, not the End obligation
+		}
+	}
+	if !isBeginCall(w.pass, rhs) {
+		w.escapeUses(rhs, open)
+		return
+	}
+	obj := w.pass.Pkg.Info.Defs[id]
+	if obj == nil {
+		obj = w.pass.Pkg.Info.Uses[id]
+	}
+	if v, ok := obj.(*types.Var); ok {
+		open[v] = rhs.Pos()
+	}
+}
+
+// isBeginCall reports whether e calls obs.Begin.
+func isBeginCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "Begin" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/obs")
+}
+
+// endedVar returns the tracked variable x when e is `x.End(...)`.
+func (w *spanWalker) endedVar(e ast.Expr) *types.Var {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := w.pass.Pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// escapeUses drops from the open set any tracked span that appears in
+// e: its handle has been handed to code this walker cannot see, which
+// now owns the End obligation.
+func (w *spanWalker) escapeUses(e ast.Expr, open openSpans) {
+	if e == nil {
+		return
+	}
+	for v := range open {
+		if usesVar(e, w.pass, v) {
+			delete(open, v)
+		}
+	}
+}
+
+// usesVar reports whether the expression references the variable.
+func usesVar(e ast.Expr, pass *Pass, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

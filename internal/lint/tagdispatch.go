@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TagDispatch machine-checks the CMF merge contract (YSmart §VI.B): a
+// merged job may only write operators its reducer evaluates, a shared
+// output file needs one distinct tag per merged query, and anything
+// meant to run in the common reducer must implement the full operator
+// triple — Name (the tag/identity callback), Sources (which values the
+// dispatcher routes to it), Eval (the per-key-group computation; the
+// paper's init/next/final contract collapsed into one call). The
+// analyzer proves what it can from composite literals; jobs assembled
+// dynamically are left to the runtime validator.
+var TagDispatch = &Analyzer{
+	Name:     "tagdispatch",
+	Doc:      "flag CommonJob literals whose output tags cannot match the reducer's dispatch set, and partial cmf.Op implementations",
+	Packages: []string{"internal/cmf"},
+	Run:      runTagDispatch,
+}
+
+// opTriple is the method set a common-reducer operator must implement.
+var opTriple = []string{"Name", "Sources", "Eval"}
+
+func runTagDispatch(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				checkCommonJobLit(pass, lit)
+			}
+			return true
+		})
+	}
+	checkOpTriples(pass)
+}
+
+// isCMFType reports whether t is the named type name from internal/cmf
+// (matched whether the analyzed package imports cmf or is cmf itself).
+func isCMFType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/cmf")
+}
+
+// checkCommonJobLit proves tag/dispatch facts about a cmf.CommonJob
+// composite literal. Only facts established entirely by literals are
+// reported: a single non-literal op name or output spec makes the
+// corresponding sets unprovable and the literal is skipped.
+func checkCommonJobLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Pkg.Info.Types[lit].Type
+	if t == nil || !isCMFType(t, "CommonJob") {
+		return
+	}
+	var opsExpr, outsExpr *ast.CompositeLit
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if cl, ok := kv.Value.(*ast.CompositeLit); ok {
+			switch key.Name {
+			case "Ops":
+				opsExpr = cl
+			case "Outputs":
+				outsExpr = cl
+			}
+		}
+	}
+	if outsExpr == nil {
+		return
+	}
+	opNames, opsProvable := literalOpNames(opsExpr)
+
+	type out struct {
+		op, tag string
+		pos     ast.Expr
+	}
+	var outs []out
+	for _, elt := range outsExpr.Elts {
+		cl, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			return // dynamically built output: nothing provable
+		}
+		o := out{pos: elt}
+		for _, f := range cl.Elts {
+			kv, ok := f.(*ast.KeyValueExpr)
+			if !ok {
+				return
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return
+			}
+			s, ok := stringLit(kv.Value)
+			if !ok {
+				return
+			}
+			switch key.Name {
+			case "Op":
+				o.op = s
+			case "Tag":
+				o.tag = s
+			}
+		}
+		outs = append(outs, o)
+	}
+
+	tags := make(map[string]bool)
+	for _, o := range outs {
+		if opsProvable && o.op != "" && !opNames[o.op] {
+			known := make([]string, 0, len(opNames))
+			for n := range opNames {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			pass.Reportf(o.pos.Pos(),
+				"output op %q is not evaluated by this job's reducer (ops: %s); its tag would never be emitted",
+				o.op, strings.Join(known, ", "))
+		}
+		if len(outs) > 1 && o.tag == "" {
+			pass.Reportf(o.pos.Pos(),
+				"multi-output common job writes op %q untagged; downstream decoders cannot dispatch the shared file", o.op)
+		}
+		if o.tag != "" && tags[o.tag] {
+			pass.Reportf(o.pos.Pos(),
+				"duplicate output tag %q; two merged queries would collide in the shared output file", o.tag)
+		}
+		tags[o.tag] = true
+	}
+}
+
+// literalOpNames extracts the OpName of every element of an Ops slice
+// literal. provable is false when any element's name is not a string
+// literal (the set cannot be compared statically).
+func literalOpNames(opsExpr *ast.CompositeLit) (names map[string]bool, provable bool) {
+	if opsExpr == nil {
+		return nil, false
+	}
+	names = make(map[string]bool)
+	for _, elt := range opsExpr.Elts {
+		if u, ok := elt.(*ast.UnaryExpr); ok {
+			elt = u.X
+		}
+		cl, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		found := false
+		for _, f := range cl.Elts {
+			kv, ok := f.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "OpName" {
+				s, ok := stringLit(kv.Value)
+				if !ok {
+					return nil, false
+				}
+				names[s] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return names, true
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// checkOpTriples flags named struct types that implement two of the
+// three cmf.Op methods: almost certainly an operator that silently
+// fails the interface assertion instead of joining the dispatch set.
+func checkOpTriples(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		var have, missing []string
+		for _, m := range opTriple {
+			if ms.Lookup(pass.Pkg.Types, m) != nil {
+				have = append(have, m)
+			} else {
+				missing = append(missing, m)
+			}
+		}
+		if len(have) == 2 {
+			pass.Reportf(tn.Pos(),
+				"type %s has %s but no %s; it will not satisfy cmf.Op and the common reducer would never dispatch to it",
+				name, fmt.Sprintf("%s and %s", have[0], have[1]), missing[0])
+		}
+	}
+}

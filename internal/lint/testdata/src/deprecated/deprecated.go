@@ -1,0 +1,34 @@
+// Package deprecated is the golden corpus for the deprecated analyzer:
+// uses of identifiers documented "Deprecated:" are flagged wherever the
+// declaration lives; the declarations themselves are not.
+package deprecated
+
+// oldAPI is the retired entry point.
+//
+// Deprecated: use newAPI instead.
+func oldAPI() int { return 1 }
+
+func newAPI() int { return 2 }
+
+type config struct {
+	// Rate inflates phase times analytically.
+	//
+	// Deprecated: use Plan.
+	Rate float64
+	Plan int
+}
+
+// LegacyMode is a retired toggle.
+//
+// Deprecated: the mode is always on.
+const LegacyMode = true
+
+func use() int {
+	c := config{}
+	c.Rate = 0.5 // want "Rate is deprecated: use Plan."
+	c.Plan = 1
+	if LegacyMode { // want "LegacyMode is deprecated: the mode is always on."
+		return oldAPI() // want "oldAPI is deprecated: use newAPI instead."
+	}
+	return newAPI()
+}

@@ -1,0 +1,65 @@
+// Package determinism is the golden corpus for the determinism
+// analyzer: wall-clock reads, global math/rand draws, and map-ordered
+// emission are flagged; seeded generators and collect-then-sort loops
+// are not.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global generator"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, k int) { xs[i], xs[k] = xs[k], xs[i] }) // want "rand.Shuffle draws from the global generator"
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are the supported path
+	return r.Float64()                  // methods on a seeded *rand.Rand are fine
+}
+
+func emitUnsorted(groups map[string][]string, emit func(string)) {
+	for k := range groups { // want "map iteration order feeds a call to emit"
+		emit(k)
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order feeds an append to out"
+		out = append(out, k)
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort restores a deterministic order
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func localScratch(m map[string]int) int {
+	n := 0
+	for range m { // no emission escapes the loop
+		n++
+	}
+	return n
+}
+
+func sliceRange(xs []string, emit func(string)) {
+	for _, x := range xs { // slice order is deterministic
+		emit(x)
+	}
+}

@@ -1,0 +1,53 @@
+// Package kitchen exercises every ysmart-vet diagnostic kind with each
+// finding silenced by a lint:ignore directive — both the trailing and
+// the standalone-preceding-line forms. The driver test asserts the
+// suite reports nothing here, proving the escape hatch works for every
+// analyzer.
+package kitchen
+
+import (
+	"math/rand"
+	"time"
+
+	"ysmart/internal/cmf"
+	"ysmart/internal/obs"
+)
+
+// retired is gone.
+//
+// Deprecated: use nothing.
+func retired() int { return 0 }
+
+func useRetired() int {
+	return retired() // lint:ignore deprecated exercising the trailing escape hatch
+}
+
+func clock() time.Time {
+	// lint:ignore determinism exercising the standalone escape hatch
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6) // lint:ignore determinism deliberate for the corpus
+}
+
+func emitMap(m map[string]int, emit func(string)) {
+	for k := range m { // lint:ignore determinism deliberate for the corpus
+		emit(k)
+	}
+}
+
+func leakySpan(t obs.Tracer) {
+	sp := obs.Begin(t, "job", "k", "driver", 0) // lint:ignore spanpair deliberate for the corpus
+	_ = sp
+}
+
+func badJob() cmf.CommonJob {
+	return cmf.CommonJob{
+		Name: "kitchen",
+		Ops:  []cmf.Op{&cmf.AggOp{OpName: "a"}},
+		Outputs: []cmf.OutputSpec{
+			{Op: "missing"}, // lint:ignore tagdispatch deliberate for the corpus
+		},
+	}
+}

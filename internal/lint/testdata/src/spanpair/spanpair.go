@@ -1,0 +1,82 @@
+// Package spanpair is the golden corpus for the spanpair analyzer:
+// obs.Begin spans must be Ended on every return path — by defer, by
+// per-path Ends, or by handing the span off.
+package spanpair
+
+import (
+	"errors"
+
+	"ysmart/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+func missingOnError(t obs.Tracer, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended on the return path"
+	if fail {
+		return errFail
+	}
+	sp.End(1)
+	return nil
+}
+
+func fallsOffEnd(t obs.Tracer) {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended"
+	_ = sp
+}
+
+func openInSwitch(t obs.Tracer, mode int) {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended"
+	switch mode {
+	case 0:
+		sp.End(1)
+	default:
+	}
+}
+
+func deferred(t obs.Tracer, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	defer sp.End(1)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func deferredClosure(t obs.Tracer, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	defer func() { sp.End(1) }()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+func endedOnEveryPath(t obs.Tracer, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	if fail {
+		sp.End(0.5)
+		return errFail
+	}
+	sp.End(1)
+	return nil
+}
+
+func handedOff(t obs.Tracer) {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	finishLater(sp) // ownership transferred; the callee owns the End
+}
+
+func finishLater(sp *obs.ActiveSpan) { sp.End(2) }
+
+func returnedSpan(t obs.Tracer) *obs.ActiveSpan {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	return sp // the caller owns the End
+}
+
+func closureScope(t obs.Tracer, run func(func())) {
+	run(func() {
+		sp := obs.Begin(t, "job", "inner", "driver", 0) // want "span sp begun here is not Ended"
+		_ = sp
+	})
+}

@@ -1,0 +1,86 @@
+// Package tagdispatch is the golden corpus for the tagdispatch
+// analyzer: literal CommonJobs whose output set provably disagrees with
+// the reducer's op set, missing or colliding tags, and partial cmf.Op
+// implementations.
+package tagdispatch
+
+import "ysmart/internal/cmf"
+
+func unknownOutputOp() cmf.CommonJob {
+	return cmf.CommonJob{
+		Name: "bad-output",
+		Ops: []cmf.Op{
+			&cmf.AggOp{OpName: "agg1"},
+		},
+		Outputs: []cmf.OutputSpec{
+			{Op: "agg2"}, // want "output op \"agg2\" is not evaluated by this job's reducer"
+		},
+	}
+}
+
+func duplicateTags() cmf.CommonJob {
+	return cmf.CommonJob{
+		Name: "dup-tags",
+		Ops: []cmf.Op{
+			&cmf.AggOp{OpName: "a"},
+			&cmf.FilterOp{OpName: "b"},
+		},
+		Outputs: []cmf.OutputSpec{
+			{Op: "a", Tag: "T1"},
+			{Op: "b", Tag: "T1"}, // want "duplicate output tag \"T1\""
+		},
+	}
+}
+
+func untaggedMultiOutput() cmf.CommonJob {
+	return cmf.CommonJob{
+		Name: "untagged",
+		Ops: []cmf.Op{
+			&cmf.AggOp{OpName: "a"},
+			&cmf.FilterOp{OpName: "b"},
+		},
+		Outputs: []cmf.OutputSpec{
+			{Op: "a", Tag: "T1"},
+			{Op: "b"}, // want "writes op \"b\" untagged"
+		},
+	}
+}
+
+func wellFormed() cmf.CommonJob {
+	return cmf.CommonJob{
+		Name: "good",
+		Ops: []cmf.Op{
+			&cmf.AggOp{OpName: "a"},
+			&cmf.FilterOp{OpName: "b", In: cmf.OpSource("a")},
+		},
+		Outputs: []cmf.OutputSpec{
+			{Op: "a", Tag: "A"},
+			{Op: "b", Tag: "B"},
+		},
+	}
+}
+
+// dynamic jobs prove nothing statically; the runtime validator owns them.
+func dynamic(ops []cmf.Op) cmf.CommonJob {
+	return cmf.CommonJob{
+		Name:    "dynamic",
+		Ops:     ops,
+		Outputs: []cmf.OutputSpec{{Op: "x"}},
+	}
+}
+
+// halfOp implements two of the three cmf.Op methods and would silently
+// fail the interface assertion.
+type halfOp struct{} // want "type halfOp has Name and Sources but no Eval"
+
+// Name is half of a dispatchable operator.
+func (halfOp) Name() string { return "half" }
+
+// Sources is the other implemented method.
+func (halfOp) Sources() []cmf.Source { return nil }
+
+// onlyNamed has one of the three methods; it is not mistaken for an op.
+type onlyNamed struct{}
+
+// Name alone does not make an operator.
+func (onlyNamed) Name() string { return "n" }

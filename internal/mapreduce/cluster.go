@@ -128,10 +128,12 @@ func (c *Cluster) Validate() error {
 		return fmt.Errorf("cluster %s: contention slot factor must be in (0,1]", c.Name)
 	case c.Contention.Enabled && c.Contention.LoadFactor < 1:
 		return fmt.Errorf("cluster %s: contention load factor must be >= 1", c.Name)
+	// lint:ignore deprecated Validate must range-check the fallback field
 	case c.TaskFailureRate < 0 || c.TaskFailureRate >= 1:
 		return fmt.Errorf("cluster %s: task failure rate must be in [0, 1)", c.Name)
 	}
 	if c.Faults != nil {
+		// lint:ignore deprecated enforcing the rate/Faults mutual exclusion
 		if c.TaskFailureRate > 0 {
 			return fmt.Errorf("cluster %s: TaskFailureRate and Faults are mutually exclusive; drop the deprecated rate when using a fault plan", c.Name)
 		}
@@ -144,12 +146,11 @@ func (c *Cluster) Validate() error {
 
 // reworkFactor is the expected execution inflation from task retries: with
 // failure probability p per attempt, a task runs 1/(1-p) times on average.
-// It is the deprecated analytic fallback; with a FaultPlan attached retries
-// are scheduled individually and no inflation applies.
+// It is the deprecated analytic fallback and only ever runs on the analytic
+// cost path: the fault-path coster never calls it, and Validate rejects a
+// non-zero rate alongside a FaultPlan.
 func (c *Cluster) reworkFactor() float64 {
-	if c.Faults != nil {
-		return 1
-	}
+	// lint:ignore deprecated this is the fallback's sole implementation site
 	return 1 / (1 - c.TaskFailureRate)
 }
 

@@ -66,8 +66,17 @@ func (e *Engine) RunChain(jobs []*Job) (*ChainStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	chainStart := e.simNow
 	stats := &ChainStats{}
+	// The chain span brackets every job (and survives early error returns
+	// thanks to the deferred End — the pairing the spanpair analyzer
+	// enforces); its byte totals are only known once the jobs have run.
+	span := obs.Begin(e.tracer, "chain", fmt.Sprintf("chain(%d jobs)", len(ordered)),
+		"driver", e.simNow, obs.F("jobs", int64(len(ordered))))
+	defer func() {
+		span.End(e.simNow,
+			obs.F("map_input_bytes", stats.TotalMapInputBytes()),
+			obs.F("shuffle_bytes", stats.TotalShuffleBytes()))
+	}()
 	for i, j := range ordered {
 		var gap float64
 		if i > 0 {
@@ -85,13 +94,6 @@ func (e *Engine) RunChain(jobs []*Job) (*ChainStats, error) {
 		}
 		js.GapBefore = gap
 		stats.Jobs = append(stats.Jobs, js)
-	}
-	if e.tracer.Enabled() {
-		e.tracer.Emit(obs.SpanEvent("chain", fmt.Sprintf("chain(%d jobs)", len(ordered)),
-			"driver", chainStart, e.simNow-chainStart,
-			obs.F("jobs", int64(len(ordered))),
-			obs.F("map_input_bytes", stats.TotalMapInputBytes()),
-			obs.F("shuffle_bytes", stats.TotalShuffleBytes())))
 	}
 	if e.metrics != nil {
 		e.metrics.Add("ysmart_engine_chains_total", 1)

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // This file is the event-level wave scheduler behind FaultPlan. The
@@ -287,9 +288,16 @@ func (ps *phaseSched) slowFactor(task, attempt int) float64 {
 // node: any completion on a node whose death falls inside (lo, hi]. It
 // returns the number of tasks relaunched this round.
 func (ps *phaseSched) recomputeLost(lo, hi float64) (int, error) {
+	// Walk completed tasks in sorted order so the enqueue order (and the
+	// seq numbers it assigns) never depends on map iteration order.
+	tasks := make([]int, 0, len(ps.completions))
+	for task := range ps.completions {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
 	var entries []pendingEntry
-	for task, c := range ps.completions {
-		d, dead := ps.pool.deaths[c.node]
+	for _, task := range tasks {
+		d, dead := ps.pool.deaths[ps.completions[task].node]
 		if !dead || d <= lo || d > hi {
 			continue
 		}
@@ -298,19 +306,6 @@ func (ps *phaseSched) recomputeLost(lo, hi float64) (int, error) {
 	}
 	if len(entries) == 0 {
 		return 0, nil
-	}
-	// Deterministic order: seq was assigned during map iteration; rebuild
-	// it sorted by task so the enqueue order never depends on map order.
-	for i := range entries {
-		for k := i + 1; k < len(entries); k++ {
-			if entries[k].task < entries[i].task {
-				entries[i], entries[k] = entries[k], entries[i]
-			}
-		}
-	}
-	for i := range entries {
-		entries[i].seq = ps.nextSeq
-		ps.nextSeq++
 	}
 	return len(entries), ps.run(entries)
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBeginEndEmitsSpan: a Begin/End pair emits one Span event whose
+// duration is end-start and whose args are Begin's followed by End's.
+func TestBeginEndEmitsSpan(t *testing.T) {
+	c := NewCollector()
+	sp := Begin(c, "chain", "chain(2 jobs)", "driver", 10, F("jobs", int64(2)))
+	sp.End(25, F("bytes", int64(100)))
+
+	events := c.Events()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != Span || e.Cat != "chain" || e.Name != "chain(2 jobs)" || e.Track != "driver" {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Time != 10 || e.Dur != 15 {
+		t.Errorf("time/dur = %v/%v, want 10/15", e.Time, e.Dur)
+	}
+	want := []Field{F("jobs", int64(2)), F("bytes", int64(100))}
+	if !reflect.DeepEqual(e.Args, want) {
+		t.Errorf("args = %v, want %v", e.Args, want)
+	}
+}
+
+// TestEndIsIdempotent: a second End emits nothing.
+func TestEndIsIdempotent(t *testing.T) {
+	c := NewCollector()
+	sp := Begin(c, "job", "j", "driver", 0)
+	sp.End(1)
+	sp.End(2)
+	if c.Len() != 1 {
+		t.Fatalf("got %d events after double End, want 1", c.Len())
+	}
+}
+
+// TestBeginDisabledTracer: Begin on the Nop tracer (or nil) returns an
+// inert span; End never emits and never mutates the shared inert span.
+func TestBeginDisabledTracer(t *testing.T) {
+	sp := Begin(Nop, "job", "j", "driver", 0)
+	sp.End(1)
+	if sp != Begin(nil, "job", "j", "driver", 0) {
+		t.Error("disabled Begins should share the inert span")
+	}
+	// A collector attached after the inert span was Ended still works,
+	// i.e. the shared span was not marked ended.
+	c := NewCollector()
+	sp2 := Begin(c, "job", "j2", "driver", 3)
+	sp2.End(4)
+	if c.Len() != 1 {
+		t.Fatalf("got %d events, want 1", c.Len())
+	}
+}
+
+// TestBeginEndNoExtraArgs: End without args reuses the Begin arg slice.
+func TestBeginEndNoExtraArgs(t *testing.T) {
+	c := NewCollector()
+	sp := Begin(c, "phase", "map", "job:q", 1, F("tasks", int64(4)))
+	sp.End(2)
+	e := c.Events()[0]
+	want := []Field{F("tasks", int64(4))}
+	if !reflect.DeepEqual(e.Args, want) {
+		t.Errorf("args = %v, want %v", e.Args, want)
+	}
+}
