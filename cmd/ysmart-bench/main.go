@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"ysmart/internal/experiments"
+	"ysmart/internal/mapreduce"
 	"ysmart/internal/obs"
 )
 
@@ -38,8 +39,14 @@ func run(args []string) error {
 	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, all")
 	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the robustness figure's deterministic fault scenarios")
+	workers := fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); figures are identical at any count")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		// Figure harnesses build engines internally, so the knob is the
+		// package-wide default for engines constructed after this point.
+		mapreduce.SetDefaultWorkers(*workers)
 	}
 
 	w, err := experiments.NewWorkload()

@@ -61,6 +61,7 @@ func run(args []string) error {
 		faults    = fs.String("faults", "", `fault scenario, e.g. "task=0.1,straggler=0.05x6,node=2@500"; implies -run`)
 		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
 		speculate = fs.Bool("speculate", false, "launch backup attempts for straggling tasks; implies -run")
+		workers   = fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); results are identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,6 +151,9 @@ func run(args []string) error {
 	rt, err := ysmart.NewRuntime(cluster)
 	if err != nil {
 		return err
+	}
+	if *workers > 0 {
+		rt.SetWorkers(*workers)
 	}
 	if *dataDir != "" {
 		if err := loadDataDir(rt, *dataDir); err != nil {

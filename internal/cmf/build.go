@@ -3,6 +3,7 @@ package cmf
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ysmart/internal/exec"
 	"ysmart/internal/mapreduce"
@@ -222,13 +223,23 @@ func commonMapper(inputIdx int, in CommonInput) mapreduce.Mapper {
 // reducer's real computation (the paper's §VII.C observation that merged
 // reduce phases "execute more lines of code").
 type commonReducer struct {
-	cj   *CommonJob
+	cj *CommonJob
+	// mu guards the accounting below. Reduce itself is pure per key group —
+	// the operator graph evaluates on stack-local state — so the engine may
+	// run key groups concurrently (see ConcurrentReduce); only the counter
+	// folds serialize, and sums commute, so totals are identical at any
+	// worker count.
+	mu   sync.Mutex
 	work int64
 	// dispatch accumulates cumulative per-operator row counts across all key
 	// groups; the engine snapshots it around a job to report the per-job
 	// delta (see mapreduce.DispatchReporter).
 	dispatch map[string]*mapreduce.OpDispatch
 }
+
+// ConcurrentReduce implements mapreduce.ConcurrentReducer: key groups are
+// independent and the shared counters above are mutex-folded.
+func (cr *commonReducer) ConcurrentReduce() {}
 
 // Reduce implements mapreduce.Reducer.
 func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) error {
@@ -260,8 +271,10 @@ func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) 
 	if err != nil {
 		return err
 	}
+	cr.mu.Lock()
 	cr.work += stats.Work
 	cr.record(stats)
+	cr.mu.Unlock()
 	for _, out := range cj.Outputs {
 		for _, r := range results[out.Op] {
 			emit(TagLine(out.Tag, exec.EncodeRow(r)))
@@ -271,10 +284,14 @@ func (cr *commonReducer) Reduce(key string, values []string, emit func(string)) 
 }
 
 // ReduceWork implements mapreduce.ReduceWorkReporter.
-func (cr *commonReducer) ReduceWork() int64 { return cr.work }
+func (cr *commonReducer) ReduceWork() int64 {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.work
+}
 
 // record folds one key group's per-operator accounting into the cumulative
-// dispatch counts.
+// dispatch counts. The caller holds cr.mu.
 func (cr *commonReducer) record(stats evalStats) {
 	if cr.dispatch == nil {
 		cr.dispatch = make(map[string]*mapreduce.OpDispatch, len(cr.cj.Ops))
@@ -294,6 +311,8 @@ func (cr *commonReducer) record(stats evalStats) {
 // DispatchCounts implements mapreduce.DispatchReporter: cumulative per-
 // operator row counts sorted by operator name.
 func (cr *commonReducer) DispatchCounts() []mapreduce.OpDispatch {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
 	out := make([]mapreduce.OpDispatch, 0, len(cr.dispatch))
 	for _, d := range cr.dispatch {
 		out = append(out, *d)

@@ -4,15 +4,27 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ysmart/internal/obs"
 )
 
 // DFS is the simulated distributed file system. Files are ordered lists of
 // text lines. The zero value is not usable; call NewDFS.
+//
+// All methods are safe for concurrent use: the engine's worker pool may
+// read while the driver writes other paths. Write and Append never share
+// backing arrays with slices handed out by earlier Reads, and observation
+// (trace instants, counters) happens under the same lock as the file-map
+// access so readers never see a torn path/length pair.
 type DFS struct {
 	mu    sync.RWMutex
 	files map[string][]string
+	// contention counts lock acquisitions that found the lock held. It is a
+	// host-scheduling artifact, so it is exposed only through Contention()
+	// and deliberately never reaches metrics or traces — those must stay
+	// byte-identical across runs and worker counts.
+	contention atomic.Int64
 
 	tracer  obs.Tracer
 	metrics *obs.Registry
@@ -72,29 +84,56 @@ func (e *FileNotFoundError) Error() string {
 	return fmt.Sprintf("dfs: file %q not found", e.Path)
 }
 
+// lock acquires the write lock, counting contended acquisitions.
+func (d *DFS) lock() {
+	if !d.mu.TryLock() {
+		d.contention.Add(1)
+		d.mu.Lock()
+	}
+}
+
+// rlock acquires the read lock, counting contended acquisitions.
+func (d *DFS) rlock() {
+	if !d.mu.TryRLock() {
+		d.contention.Add(1)
+		d.mu.RLock()
+	}
+}
+
+// Contention reports how many lock acquisitions found the lock held — a
+// measure of real concurrent pressure on the DFS. The count depends on
+// host scheduling and worker count, so it is diagnostic only: it never
+// feeds stats, metrics or traces.
+func (d *DFS) Contention() int64 { return d.contention.Load() }
+
 // Write stores lines at path, replacing any previous content. The slice is
 // copied.
 func (d *DFS) Write(path string, lines []string) {
 	cp := make([]string, len(lines))
 	copy(cp, lines)
-	d.mu.Lock()
+	d.lock()
 	defer d.mu.Unlock()
 	d.files[path] = cp
 	d.observe("write", path, cp)
 }
 
-// Append adds lines to path, creating it if absent.
+// Append adds lines to path, creating it if absent. The three-index slice
+// caps the existing content at its length, forcing append to allocate a
+// fresh backing array instead of growing in place — growth in place would
+// write into an array shared with slices earlier Reads handed out, the
+// classic torn-read hazard once readers run on other goroutines.
 func (d *DFS) Append(path string, lines []string) {
-	d.mu.Lock()
+	d.lock()
 	defer d.mu.Unlock()
-	d.files[path] = append(d.files[path], lines...)
+	cur := d.files[path]
+	d.files[path] = append(cur[:len(cur):len(cur)], lines...)
 	d.observe("write", path, lines)
 }
 
 // Read returns the lines of path. The returned slice is shared; callers
 // must not mutate it.
 func (d *DFS) Read(path string) ([]string, error) {
-	d.mu.RLock()
+	d.rlock()
 	defer d.mu.RUnlock()
 	lines, ok := d.files[path]
 	if !ok {
@@ -106,7 +145,7 @@ func (d *DFS) Read(path string) ([]string, error) {
 
 // Exists reports whether path is present.
 func (d *DFS) Exists(path string) bool {
-	d.mu.RLock()
+	d.rlock()
 	defer d.mu.RUnlock()
 	_, ok := d.files[path]
 	return ok
@@ -114,7 +153,7 @@ func (d *DFS) Exists(path string) bool {
 
 // Delete removes path; deleting a missing path is a no-op.
 func (d *DFS) Delete(path string) {
-	d.mu.Lock()
+	d.lock()
 	defer d.mu.Unlock()
 	delete(d.files, path)
 }
@@ -122,7 +161,7 @@ func (d *DFS) Delete(path string) {
 // SizeBytes returns the byte size of path's content (line bytes plus one
 // newline per line), or 0 if absent.
 func (d *DFS) SizeBytes(path string) int64 {
-	d.mu.RLock()
+	d.rlock()
 	defer d.mu.RUnlock()
 	var n int64
 	for _, l := range d.files[path] {
@@ -133,7 +172,7 @@ func (d *DFS) SizeBytes(path string) int64 {
 
 // List returns all paths in sorted order.
 func (d *DFS) List() []string {
-	d.mu.RLock()
+	d.rlock()
 	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.files))
 	for p := range d.files {

@@ -11,11 +11,17 @@ import (
 )
 
 // Engine executes jobs against a DFS and costs them against a cluster
-// model. It is not safe for concurrent use.
+// model. It is not safe for concurrent use: callers drive one chain at a
+// time. Internally, however, the engine fans map tasks, combiners, reduce
+// key groups and fault-path re-executions out across a pool of worker
+// goroutines (see parallel.go); results are gathered in deterministic task
+// order, so output, stats and traces are byte-identical at any worker
+// count.
 type Engine struct {
 	dfs     *DFS
 	cluster *Cluster
 	gapRNG  *rand.Rand
+	workers int
 
 	tracer  obs.Tracer
 	metrics *obs.Registry
@@ -34,6 +40,7 @@ func NewEngine(dfs *DFS, cluster *Cluster) (*Engine, error) {
 		dfs:     dfs,
 		cluster: cluster,
 		gapRNG:  rand.New(rand.NewSource(cluster.Contention.Seed)),
+		workers: DefaultWorkers(),
 		tracer:  obs.Nop,
 	}, nil
 }
@@ -156,6 +163,15 @@ type mapTask struct {
 	chunk []string
 }
 
+// mapTaskResult is one map task's contribution, produced on a worker and
+// gathered by the driver in task order. pairs holds post-combine output;
+// the pre-combine counters feed the cost model's sort/spill charges.
+type mapTaskResult struct {
+	pairs      []kv
+	preRecords int64
+	preBytes   int64
+}
+
 // RunJob executes a single job: map over every input, optional combine per
 // map task, shuffle/group, reduce, and write the output file. It returns
 // the job's counters and simulated times, and advances the simulated clock
@@ -207,34 +223,49 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 			tasks = append(tasks, mapTask{input: in, chunk: chunk})
 		}
 	}
-	for _, task := range tasks {
+	// Map tasks (and their combiners) run concurrently on the worker pool:
+	// each task writes only its own mapResults slot, and the gather below
+	// walks slots in ascending task index, so map output order is exactly
+	// the sequential engine's.
+	mapResults := make([]mapTaskResult, len(tasks))
+	err := e.forEachTask(len(tasks), func(i int) error {
+		task := tasks[i]
 		var taskPairs []kv
 		emit := func(key, value string) {
 			taskPairs = append(taskPairs, kv{key, value})
 		}
 		for _, line := range task.chunk {
 			if err := task.input.Mapper.Map(line, emit); err != nil {
-				return nil, fmt.Errorf("map %s: %w", task.input.Path, err)
+				return fmt.Errorf("map %s: %w", task.input.Path, err)
 			}
 		}
-		preCombineRecords += int64(len(taskPairs))
+		r := mapTaskResult{pairs: taskPairs, preRecords: int64(len(taskPairs))}
 		for _, p := range taskPairs {
-			preCombineBytes += int64(len(p.key) + len(p.value) + 2)
+			r.preBytes += int64(len(p.key) + len(p.value) + 2)
 		}
+		if j.Reducer != nil && j.Combiner != nil {
+			combined, err := combineTask(taskPairs, j.Combiner)
+			if err != nil {
+				return fmt.Errorf("combine: %w", err)
+			}
+			r.pairs = combined
+		}
+		mapResults[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range mapResults {
+		preCombineRecords += r.preRecords
+		preCombineBytes += r.preBytes
 		if j.Reducer == nil {
-			for _, p := range taskPairs {
+			for _, p := range r.pairs {
 				mapOnlyLines = append(mapOnlyLines, p.value)
 			}
 			continue
 		}
-		if j.Combiner != nil {
-			combined, err := combineTask(taskPairs, j.Combiner)
-			if err != nil {
-				return nil, fmt.Errorf("combine: %w", err)
-			}
-			taskPairs = combined
-		}
-		mapOutput = append(mapOutput, taskPairs...)
+		mapOutput = append(mapOutput, r.pairs...)
 	}
 
 	// ----- Map-only jobs write straight to the DFS -----------------------
@@ -291,11 +322,34 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 	if dr, ok := j.Reducer.(DispatchReporter); ok {
 		dispatchStart = dr.DispatchCounts()
 	}
+	// Key groups run concurrently only for reducers that declare themselves
+	// safe (ConcurrentReducer); each group emits into its own buffer and the
+	// gather concatenates buffers in global sorted-key order, reproducing
+	// the sequential engine's output exactly. Unmarked reducers may carry
+	// per-call state whose evolution depends on call order, so they always
+	// run sequentially over the sorted keys.
 	var outLines []string
-	emitLine := func(line string) { outLines = append(outLines, line) }
-	for _, k := range keys {
-		if err := j.Reducer.Reduce(k, groups[k], emitLine); err != nil {
-			return nil, fmt.Errorf("reduce key %q: %w", k, err)
+	if _, ok := j.Reducer.(ConcurrentReducer); ok && e.workers > 1 {
+		outs := make([][]string, len(keys))
+		err := e.forEachTask(len(keys), func(i int) error {
+			k := keys[i]
+			if err := j.Reducer.Reduce(k, groups[k], func(line string) { outs[i] = append(outs[i], line) }); err != nil {
+				return fmt.Errorf("reduce key %q: %w", k, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range outs {
+			outLines = append(outLines, o...)
+		}
+	} else {
+		emitLine := func(line string) { outLines = append(outLines, line) }
+		for _, k := range keys {
+			if err := j.Reducer.Reduce(k, groups[k], emitLine); err != nil {
+				return nil, fmt.Errorf("reduce key %q: %w", k, err)
+			}
 		}
 	}
 	stats.ReduceWorkRecords = stats.ReduceInputRecords

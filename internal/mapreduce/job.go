@@ -8,9 +8,11 @@
 // counters into simulated wall-clock seconds, which is what the experiment
 // harnesses report.
 //
-// The engine is deliberately sequential and deterministic so results are
-// reproducible; parallelism enters only through the cost model (nodes ×
-// slots).
+// The engine is deterministic: results, stats and traces are reproducible
+// byte-for-byte. Simulated parallelism enters through the cost model
+// (nodes × slots); host parallelism enters through the engine's worker
+// pool (Engine.SetWorkers), which executes tasks concurrently but gathers
+// every result in task order so the two notions never interact.
 package mapreduce
 
 import "fmt"
@@ -20,6 +22,10 @@ import "fmt"
 type Emit func(key, value string)
 
 // Mapper transforms one input record into zero or more key/value pairs.
+// Map tasks execute concurrently on the engine's worker pool, so Map must
+// be safe for concurrent calls with distinct emit functions — in practice
+// mappers are stateless closures over pure decode/filter/project logic,
+// exactly as Hadoop mappers are instantiated per task.
 type Mapper interface {
 	Map(line string, emit Emit) error
 }
@@ -34,6 +40,20 @@ func (f MapperFunc) Map(line string, emit Emit) error { return f(line, emit) }
 // argument of emit is ignored for reducer output).
 type Reducer interface {
 	Reduce(key string, values []string, emit func(line string)) error
+}
+
+// ConcurrentReducer marks a Reducer whose Reduce method is safe to call
+// from several goroutines at once. The engine then runs key groups
+// concurrently on its worker pool, each group emitting into a private
+// buffer that is reassembled in sorted-key order — output is byte-identical
+// to the sequential path. Reducers without the marker always run
+// sequentially over sorted keys, because interleaved calls would make any
+// internal state they keep (and therefore their output and reported
+// counters) depend on host scheduling.
+type ConcurrentReducer interface {
+	Reducer
+	// ConcurrentReduce is a marker method; implementations are empty.
+	ConcurrentReduce()
 }
 
 // ReducerFunc adapts a function to the Reducer interface.
@@ -73,7 +93,9 @@ type DispatchReporter interface {
 
 // Combiner optionally folds a key's map-side values before the shuffle —
 // Hive's map-phase hash aggregation (paper §I footnote 2) is modelled this
-// way. It must be algebraically compatible with the job's reducer.
+// way. It must be algebraically compatible with the job's reducer. Like
+// Map, Combine runs inside concurrent map tasks and must be safe for
+// concurrent calls.
 type Combiner interface {
 	Combine(key string, values []string) ([]string, error)
 }

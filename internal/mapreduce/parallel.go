@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The worker pool. Map tasks, per-task combiners, reduce key groups and
+// fault-path re-executions fan out across Engine.Workers goroutines. Every
+// parallel section follows the same discipline:
+//
+//   - the driver builds the complete work list up front (DFS reads and
+//     trace emission happen on the driver, in task order, before any
+//     worker starts);
+//   - each work item writes only into its own slot of a pre-sized result
+//     slice;
+//   - the driver gathers results by ascending task index after the join.
+//
+// Host scheduling therefore never reaches anything observable: JobStats,
+// DFS contents, traces and fault replay are byte-identical at any worker
+// count. Goroutine identity is deliberately absent from spans — task spans
+// carry the deterministic simulated slot instead (see emitWaves) — because
+// a host goroutine id would differ between runs and break replay.
+
+// defaultWorkers is the worker count engines start with; NumCPU unless
+// overridden by SetDefaultWorkers (the -workers CLI flag).
+var defaultWorkers atomic.Int64
+
+func init() { defaultWorkers.Store(int64(runtime.NumCPU())) }
+
+// SetDefaultWorkers sets the worker count newly built engines use. n <= 0
+// restores the NumCPU default. It exists for CLIs whose engines are
+// constructed deep inside harnesses (ysmart-bench); code holding an Engine
+// should call SetWorkers instead.
+func SetDefaultWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the worker count newly built engines use.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// SetWorkers sets how many goroutines execute this engine's tasks. n <= 1
+// means fully sequential execution on the calling goroutine. Results are
+// byte-identical at any worker count; only host wall-clock changes.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// forEachTask runs fn(0..n-1) across the engine's workers and joins before
+// returning. Each call must confine its writes to per-index state. The
+// returned error is the lowest-indexed failure, matching what a sequential
+// loop that stops at the first error would report; on the inline (single
+// worker) path later tasks are genuinely not run, which is indistinguishable
+// because a failed job contributes no stats or output.
+func (e *Engine) forEachTask(n int, fn func(i int) error) error {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -508,6 +508,10 @@ func (e *Engine) reexecuteMap(j *Job, s *JobStats, tasks []mapTask, mp *phaseSch
 	for _, a := range mp.attempts {
 		extra[a.Task]++
 	}
+	// The DFS re-reads run here on the driver goroutine, in ascending task
+	// order, so their trace instants keep one deterministic sequence; only
+	// the pure mapper/combiner re-execution fans out to the worker pool.
+	var replays []int // task index, one entry per extra execution
 	for task := 0; task < s.NumMapTasks; task++ {
 		if task >= len(tasks) {
 			break // phantom cost-model task with no data of its own
@@ -517,23 +521,27 @@ func (e *Engine) reexecuteMap(j *Job, s *JobStats, tasks []mapTask, mp *phaseSch
 			if _, err := e.dfs.Read(mt.input.Path); err != nil {
 				return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
 			}
-			var taskPairs []kv
-			emit := func(key, value string) {
-				taskPairs = append(taskPairs, kv{key, value})
-			}
-			for _, line := range mt.chunk {
-				if err := mt.input.Mapper.Map(line, emit); err != nil {
-					return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
-				}
-			}
-			if j.Reducer != nil && j.Combiner != nil {
-				if _, err := combineTask(taskPairs, j.Combiner); err != nil {
-					return fmt.Errorf("combine retry: %w", err)
-				}
-			}
+			replays = append(replays, task)
 		}
 	}
-	return nil
+	return e.forEachTask(len(replays), func(i int) error {
+		mt := tasks[replays[i]]
+		var taskPairs []kv
+		emit := func(key, value string) {
+			taskPairs = append(taskPairs, kv{key, value})
+		}
+		for _, line := range mt.chunk {
+			if err := mt.input.Mapper.Map(line, emit); err != nil {
+				return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
+			}
+		}
+		if j.Reducer != nil && j.Combiner != nil {
+			if _, err := combineTask(taskPairs, j.Combiner); err != nil {
+				return fmt.Errorf("combine retry: %w", err)
+			}
+		}
+		return nil
+	})
 }
 
 // reexecuteReduce replays the reducer for every scheduled reduce execution
@@ -544,17 +552,34 @@ func (e *Engine) reexecuteReduce(j *Job, s *JobStats, keys []string, groups map[
 	for _, a := range rp.attempts {
 		extra[a.Task]++
 	}
-	discard := func(string) {}
+	var replays []int // reduce partition, one entry per extra execution
 	for task := 0; task < s.NumReduceTasks; task++ {
 		for n := extra[task] - 1; n > 0; n-- {
-			for _, k := range keys {
-				if partitionOf(k, s.NumReduceTasks) != task {
-					continue
-				}
-				if err := j.Reducer.Reduce(k, groups[k], discard); err != nil {
-					return fmt.Errorf("reduce retry key %q: %w", k, err)
-				}
+			replays = append(replays, task)
+		}
+	}
+	discard := func(string) {}
+	replay := func(i int) error {
+		task := replays[i]
+		for _, k := range keys {
+			if partitionOf(k, s.NumReduceTasks) != task {
+				continue
 			}
+			if err := j.Reducer.Reduce(k, groups[k], discard); err != nil {
+				return fmt.Errorf("reduce retry key %q: %w", k, err)
+			}
+		}
+		return nil
+	}
+	// Partition replays run concurrently only for reducers marked safe;
+	// stateful order-dependent reducers replay sequentially, like the
+	// primary reduce pass.
+	if _, ok := j.Reducer.(ConcurrentReducer); ok {
+		return e.forEachTask(len(replays), replay)
+	}
+	for i := range replays {
+		if err := replay(i); err != nil {
+			return err
 		}
 	}
 	return nil

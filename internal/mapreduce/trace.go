@@ -118,8 +118,12 @@ func (e *Engine) emitWaves(track, phase string, start, dur float64, tasks, slots
 			continue
 		}
 		for i := 0; i < inWave; i++ {
+			// The worker id is the simulated slot the task occupies (its
+			// index within the wave) — deterministic by construction. Host
+			// goroutine identity deliberately never reaches traces: it would
+			// differ run to run and break byte-identical replay.
 			e.tracer.Emit(obs.SpanEvent("task", fmt.Sprintf("%s-task-%d", phase, taskIdx), track,
-				wStart, waveDur))
+				wStart, waveDur, obs.F("worker", int64(i))))
 			taskIdx++
 		}
 	}

@@ -206,6 +206,16 @@ func NewRuntime(cluster *Cluster) (*Runtime, error) {
 // DFS exposes the runtime's file system.
 func (r *Runtime) DFS() *mapreduce.DFS { return r.dfs }
 
+// SetWorkers sets how many goroutines the engine uses to execute map
+// tasks, combiners and reduce key groups (the -workers CLI flag). The
+// default is runtime.NumCPU(); n <= 1 runs fully sequentially. Results,
+// stats and traces are byte-identical at any worker count — only host
+// wall-clock time changes.
+func (r *Runtime) SetWorkers(n int) { r.engine.SetWorkers(n) }
+
+// Workers returns the engine's worker count.
+func (r *Runtime) Workers() int { return r.engine.Workers() }
+
 // LoadTable stores rows as a base table.
 func (r *Runtime) LoadTable(name string, rows []Row) {
 	r.dfs.Write(TablePath(name), datagen.Lines(rows))
