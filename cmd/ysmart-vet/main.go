@@ -1,20 +1,27 @@
 // Command ysmart-vet runs the repo's custom static-analysis suite: the
 // analyzers in internal/lint that enforce the invariants the simulator's
 // correctness rests on — deterministic replay (no wall-clock, no global
-// rand, no map-ordered emission), common-MapReduce tag/dispatch
-// agreement, paired trace spans, and no fresh uses of deprecated API.
+// rand, no map-ordered emission, transitively through the call graph),
+// common-MapReduce tag/dispatch agreement, paired trace spans, no fresh
+// uses of deprecated API, data-race freedom in parallel task bodies
+// (sharecheck), and mutex discipline on ConcurrentReduce marker types
+// (concreduce). Every run also audits lint:ignore directives and
+// reports the ones that silence nothing ([staleignore]).
 //
 // Usage:
 //
-//	ysmart-vet [-list] [-check a,b] [package patterns]
+//	ysmart-vet [-list] [-check a,b] [-json] [package patterns]
 //
 // With no patterns it vets ./... from the current directory, applying
 // each analyzer's package scope. Explicit directory patterns bypass the
-// scopes (used by the golden corpora). Exit status is 1 when any
+// scopes (used by the golden corpora). -json emits the diagnostics as a
+// JSON array on stdout (one object per finding: file, line, col, check,
+// message) for CI annotation tooling. Exit status is 1 when any
 // diagnostic is reported and 2 on a driver error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,15 @@ import (
 
 	"ysmart/internal/lint"
 )
+
+// jsonDiag is the wire form of one diagnostic under -json.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -32,6 +48,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	check := fs.String("check", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array for CI annotations")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,8 +91,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "ysmart-vet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "ysmart-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

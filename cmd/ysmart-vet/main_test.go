@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,7 +47,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "tagdispatch", "spanpair", "deprecated"} {
+	for _, name := range []string{"determinism", "tagdispatch", "spanpair", "deprecated", "sharecheck", "concreduce"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
 		}
@@ -73,6 +74,46 @@ func TestCorpusExitsNonZero(t *testing.T) {
 	}
 	if !strings.Contains(out, "determinism.go:") || !strings.Contains(out, "[determinism]") {
 		t.Errorf("diagnostics missing file:line or check tag:\n%s", out)
+	}
+}
+
+// TestJSONOutput: -json must emit a machine-readable array with one
+// object per finding and the same exit code as the plain run.
+func TestJSONOutput(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "determinism")
+	code, out, errOut := capture(t, []string{"-json", dir})
+	if code != 1 {
+		t.Fatalf("-json corpus exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array for a corpus full of findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Check == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanRun: a clean run under -json is an empty array, not
+// empty output — downstream jq never sees invalid JSON.
+func TestJSONCleanRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "kitchen")
+	code, out, errOut := capture(t, []string{"-json", dir})
+	if code != 0 {
+		t.Fatalf("-json kitchen exit = %d, want 0 (stderr: %s, stdout: %s)", code, errOut, out)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run = %q, want []", out)
 	}
 }
 

@@ -1,0 +1,478 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The call graph is the interprocedural backbone of the suite: a static
+// over-approximation of "who can run whom" inside the module, built once
+// per loaded Program and shared by every analyzer. Three edge kinds:
+//
+//   - EdgeStatic: a direct call to a package function or a method on a
+//     concrete receiver.
+//   - EdgeDynamic: an interface method call, resolved by method-set
+//     search to every in-module concrete implementation. Resolution is
+//     deliberately bounded to the module: interfaces declared outside it
+//     (error, io.Writer, ...) produce no edges, and an in-module
+//     interface with zero in-module implementations is recorded as an
+//     unresolved call — analyzers treat those conservatively
+//     (assume-impure for determinism, assume-shared for sharecheck).
+//   - EdgeRef: an in-module function or method referenced as a value
+//     (passed as an argument, stored, returned, or taken as a method
+//     value). Whoever receives the value may call it, so its effects are
+//     attributed to the function that let the reference escape; calls
+//     through plain func-typed values therefore need no edges of their
+//     own — the binding site already carries one.
+//
+// Function literals are inlined into the function that declares them:
+// the closure passed to forEachTask is analyzed as part of its enclosing
+// method, which is exactly the scope its captured variables live in.
+//
+// Implementation-candidate search skips package main: programs at the
+// module edge register their callbacks through the public API (covered
+// by EdgeRef at their own call sites) and must not inject edges into the
+// library's interface dispatch.
+
+// EdgeKind classifies a call-graph edge.
+type EdgeKind int
+
+// The edge kinds, ordered static < dynamic < ref for stable sorting.
+const (
+	EdgeStatic EdgeKind = iota
+	EdgeDynamic
+	EdgeRef
+)
+
+// String renders the kind for diagnostics and tests.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeDynamic:
+		return "dynamic"
+	case EdgeRef:
+		return "ref"
+	}
+	return "unknown"
+}
+
+// recvClass is a coarse ownership class for a method call's receiver,
+// the RacerD-style signal that lets effect propagation skip writes to
+// objects the calling context provably created itself.
+type recvClass int
+
+const (
+	// recvShared: the receiver is rooted in state a concurrent peer
+	// could also reach (package variable, captured value, unknown).
+	recvShared recvClass = iota
+	// recvParam: the receiver is the caller's own receiver or parameter
+	// — ownership is whatever the caller's caller says it is.
+	recvParam
+	// recvLocal: the receiver is rooted in a variable the caller
+	// created locally; the callee's receiver writes are private.
+	recvLocal
+)
+
+// CallEdge is one caller→callee edge at a concrete source position.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+	// Recv classifies the receiver for method calls; plain calls and
+	// references inherit the caller's ownership context (recvParam).
+	Recv recvClass
+}
+
+// UnresolvedCall records a dynamic call the builder could not bound to
+// any in-module implementation. Analyzers degrade to a conservative
+// default at these sites.
+type UnresolvedCall struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// CallNode is one function's outgoing view of the graph.
+type CallNode struct {
+	Fn  *types.Func
+	Out []CallEdge
+	// Unresolved lists the node's dynamic calls with no bound callee.
+	Unresolved []UnresolvedCall
+}
+
+// declOf ties a function object back to its syntax and package, for
+// analyzers that re-walk bodies with type information.
+type declOf struct {
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+}
+
+// CallGraph is the module-wide graph plus the decl index.
+type CallGraph struct {
+	prog  *Program
+	Nodes map[*types.Func]*CallNode
+	// Decls maps every graphed function to its declaration.
+	Decls map[*types.Func]declOf
+}
+
+// CallGraph builds (or returns the cached) call graph over every package
+// the program has loaded.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.callgraph != nil {
+		return prog.callgraph
+	}
+	g := &CallGraph{
+		prog:  prog,
+		Nodes: make(map[*types.Func]*CallNode),
+		Decls: make(map[*types.Func]declOf),
+	}
+	pkgs := prog.sortedPkgs()
+	impls := implCandidates(pkgs)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Decls[fn] = declOf{Pkg: pkg, File: file, Decl: fd}
+				g.collect(pkg, fn, fd, impls)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		sort.Slice(n.Out, func(i, k int) bool {
+			a, b := n.Out[i], n.Out[k]
+			if a.Pos != b.Pos {
+				return a.Pos < b.Pos
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			return a.Callee.FullName() < b.Callee.FullName()
+		})
+	}
+	prog.callgraph = g
+	return g
+}
+
+// sortedPkgs returns the loaded packages in import-path order, the
+// deterministic iteration every graph pass relies on.
+func (prog *Program) sortedPkgs() []*Package {
+	paths := make([]string, 0, len(prog.Pkgs))
+	for p := range prog.Pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, len(paths))
+	for i, p := range paths {
+		pkgs[i] = prog.Pkgs[p]
+	}
+	return pkgs
+}
+
+// inModule reports whether the function is declared in a module package.
+func (prog *Program) inModule(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == prog.ModPath || strings.HasPrefix(path, prog.ModPath+"/")
+}
+
+// relOf maps a types package to its module-relative path ("" when the
+// package is outside the module).
+func (prog *Program) relOf(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if path == prog.ModPath {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(path, prog.ModPath+"/"); ok {
+		return rest
+	}
+	return ""
+}
+
+// implCandidates gathers every named non-interface type declared in a
+// non-main module package — the universe the dynamic-dispatch search
+// resolves against.
+func implCandidates(pkgs []*Package) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range pkgs {
+		if pkg.Types.Name() == "main" {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// node returns (creating if needed) the graph node for fn.
+func (g *CallGraph) node(fn *types.Func) *CallNode {
+	n, ok := g.Nodes[fn]
+	if !ok {
+		n = &CallNode{Fn: fn}
+		g.Nodes[fn] = n
+	}
+	return n
+}
+
+// addEdge appends an edge when the callee is an in-module function.
+func (g *CallGraph) addEdge(from *types.Func, callee *types.Func, pos token.Pos, kind EdgeKind, recv recvClass) {
+	if !g.prog.inModule(callee) {
+		return
+	}
+	n := g.node(from)
+	n.Out = append(n.Out, CallEdge{Caller: from, Callee: callee, Pos: pos, Kind: kind, Recv: recv})
+}
+
+// collect walks one function body (closures included) and records its
+// edges and unresolved calls.
+func (g *CallGraph) collect(pkg *Package, fn *types.Func, fd *ast.FuncDecl, impls []*types.Named) {
+	g.node(fn)
+	body := fd.Body
+
+	// Range key/value variables alias elements of the ranged expression;
+	// calls on them own whatever the ranged container owns.
+	rangeSrc := make(map[*types.Var]ast.Expr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			for _, k := range []ast.Expr{r.Key, r.Value} {
+				id, ok := k.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+					rangeSrc[v] = r.X
+				}
+			}
+		}
+		return true
+	})
+
+	// First pass: remember which expressions are the operator of a call
+	// and which idents are selector fields, so the reference pass below
+	// does not double-count them.
+	callFun := make(map[ast.Expr]bool)
+	selIdent := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callFun[ast.Unparen(n.Fun)] = true
+		case *ast.SelectorExpr:
+			selIdent[n.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			g.classifyCall(pkg, fn, fd, rangeSrc, n, impls)
+		case *ast.SelectorExpr:
+			if callFun[n] {
+				return true
+			}
+			// Method value / qualified function reference.
+			if callee, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok {
+				g.addEdge(fn, callee, n.Pos(), EdgeRef, recvParam)
+			}
+		case *ast.Ident:
+			if callFun[n] || selIdent[n] {
+				return true
+			}
+			if _, isDef := pkg.Info.Defs[n]; isDef {
+				return true
+			}
+			if callee, ok := pkg.Info.Uses[n].(*types.Func); ok {
+				g.addEdge(fn, callee, n.Pos(), EdgeRef, recvParam)
+			}
+		}
+		return true
+	})
+}
+
+// classifyCall resolves one call expression into edges.
+func (g *CallGraph) classifyCall(pkg *Package, fn *types.Func, fd *ast.FuncDecl, rangeSrc map[*types.Var]ast.Expr, call *ast.CallExpr, impls []*types.Named) {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if callee, ok := pkg.Info.Uses[f].(*types.Func); ok {
+			g.addEdge(fn, callee, call.Pos(), EdgeStatic, recvParam)
+		}
+		// Vars (func values), builtins and conversions carry no edge:
+		// func-value bindings are covered by EdgeRef at the bind site.
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[f]; ok {
+			if sel.Kind() != types.MethodVal {
+				return // func-typed field call; EdgeRef covers the store
+			}
+			callee, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			rc := recvClassOf(pkg, fd, rangeSrc, f.X)
+			if iface, _ := sel.Recv().Underlying().(*types.Interface); iface != nil {
+				g.dispatch(fn, call, sel.Recv(), callee, impls, rc)
+				return
+			}
+			g.addEdge(fn, callee, call.Pos(), EdgeStatic, rc)
+			return
+		}
+		// Qualified call: pkg.Func (or a conversion, which has no Func).
+		if callee, ok := pkg.Info.Uses[f.Sel].(*types.Func); ok {
+			g.addEdge(fn, callee, call.Pos(), EdgeStatic, recvParam)
+		}
+	}
+	// Any other operator shape (index expression, call result, func
+	// literal) is a func value whose binding sites carry EdgeRef.
+}
+
+// recvClassOf classifies the ownership of a method-call receiver
+// expression relative to the enclosing declaration: rooted in a local the
+// function created (recvLocal), in its own receiver/parameters
+// (recvParam), or in anything a concurrent peer could reach (recvShared —
+// package variables, call results, unknown shapes). Range variables
+// resolve through to the ranged expression's root.
+func recvClassOf(pkg *Package, fd *ast.FuncDecl, rangeSrc map[*types.Var]ast.Expr, e ast.Expr) recvClass {
+	for hop := 0; hop < 8; hop++ {
+		root := rootIdent(e)
+		if root == nil {
+			return recvShared
+		}
+		obj, _ := pkg.Info.Uses[root].(*types.Var)
+		if obj == nil {
+			return recvShared // package-qualified value, func result, ...
+		}
+		if src, ok := rangeSrc[obj]; ok && src != e {
+			e = src
+			continue
+		}
+		switch {
+		case isPkgLevel(obj):
+			return recvShared
+		case isSigVar(pkg, fd, obj):
+			return recvParam
+		case obj.Pos() >= fd.Pos() && obj.Pos() < fd.End():
+			return recvLocal
+		}
+		return recvShared // captured from an enclosing scope
+	}
+	return recvShared
+}
+
+// isPkgLevel reports whether the variable is declared at package scope.
+func isPkgLevel(obj *types.Var) bool {
+	return obj.Parent() != nil && obj.Parent().Parent() == types.Universe
+}
+
+// isSigVar reports whether obj is the declared function's receiver or one
+// of its parameters.
+func isSigVar(pkg *Package, fd *ast.FuncDecl, obj *types.Var) bool {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	if sig.Recv() != nil && sig.Recv() == obj {
+		return true
+	}
+	return isParamOf(sig, obj)
+}
+
+// dispatch resolves an interface method call against the in-module
+// implementation candidates. Interfaces declared outside the module are
+// skipped entirely — their behavior is outside the invariants this suite
+// checks — while an in-module interface with no in-module implementation
+// becomes an unresolved call, the conservative default.
+func (g *CallGraph) dispatch(fn *types.Func, call *ast.CallExpr, recv types.Type, method *types.Func, impls []*types.Named, rc recvClass) {
+	ifaceName := "interface"
+	if named, ok := recv.(*types.Named); ok {
+		if named.Obj().Pkg() != nil && g.prog.relOf(named.Obj().Pkg()) == "" {
+			return // declared outside the module
+		}
+		ifaceName = named.Obj().Name()
+	}
+	iface := recv.Underlying().(*types.Interface)
+	found := 0
+	for _, cand := range impls {
+		ptr := types.NewPointer(cand)
+		if !types.Implements(ptr, iface) && !types.Implements(cand, iface) {
+			continue
+		}
+		ms := types.NewMethodSet(ptr)
+		sel := ms.Lookup(method.Pkg(), method.Name())
+		if sel == nil {
+			continue
+		}
+		if callee, ok := sel.Obj().(*types.Func); ok {
+			g.addEdge(fn, callee, call.Pos(), EdgeDynamic, rc)
+			found++
+		}
+	}
+	if found == 0 {
+		n := g.node(fn)
+		n.Unresolved = append(n.Unresolved, UnresolvedCall{
+			Pos:  call.Pos(),
+			Desc: fmt.Sprintf("no in-module implementation of %s.%s", ifaceName, method.Name()),
+		})
+	}
+}
+
+// shortFuncName renders a function as pkg.Name or pkg.Type.Method, the
+// form call-path diagnostics use.
+func shortFuncName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// pathString renders a witness call chain for a diagnostic.
+func pathString(path []*types.Func) string {
+	parts := make([]string, len(path))
+	for i, fn := range path {
+		parts[i] = shortFuncName(fn)
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcReduce vets every type carrying the ConcurrentReduce marker — the
+// promise that its Reduce method is safe to run once per key group
+// concurrently under the engine's shared dispatch. The marker obliges
+// the type to:
+//
+//   - actually have a Reduce method;
+//   - mutate receiver state (and package state, and state behind pointer
+//     parameters) only while a mutex is held or through sync/atomic —
+//     checked transitively through helper calls via the call graph;
+//   - never be copied by value while it carries a sync.Mutex: no value
+//     receivers on lock-bearing structs, no *recv copies inside methods.
+//
+// Dynamic calls the graph cannot bound to an in-module implementation
+// are conservatively assumed to write shared state.
+var ConcReduce = &Analyzer{
+	Name: "concreduce",
+	Doc:  "verify ConcurrentReduce-marked reducers fold shared state only under a held mutex or atomics",
+	Run:  runConcReduce,
+}
+
+func runConcReduce(pass *Pass) {
+	g := pass.Prog.CallGraph()
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue // the marker interface itself
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		if ms.Lookup(pass.Pkg.Types, "ConcurrentReduce") == nil {
+			continue
+		}
+		checkConcurrentReducer(pass, g, named, ms)
+	}
+}
+
+// checkConcurrentReducer applies the marker's obligations to one type.
+func checkConcurrentReducer(pass *Pass, g *CallGraph, named *types.Named, ms *types.MethodSet) {
+	tn := named.Obj()
+	sel := ms.Lookup(pass.Pkg.Types, "Reduce")
+	if sel == nil {
+		pass.Reportf(tn.Pos(),
+			"type %s carries the ConcurrentReduce marker but has no Reduce method; the marker promises a reducer safe to run concurrently", tn.Name())
+		return
+	}
+
+	if hasMutexValue(named, 0) {
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			sig, _ := m.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				continue
+			}
+			if !isPointer(sig.Recv().Type()) {
+				pass.Reportf(m.Pos(),
+					"method %s.%s has a value receiver, copying the struct and the sync.Mutex inside it; use a pointer receiver", tn.Name(), m.Name())
+				continue
+			}
+			checkNoCopy(pass, g, tn, m)
+		}
+	}
+
+	reduceFn, ok := sel.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	eff := g.effectsOf(reduceFn)
+	reported := make(map[token.Pos]bool)
+	for _, w := range eff.writes {
+		if reported[w.pos] {
+			continue
+		}
+		reported[w.pos] = true
+		pass.Reportf(w.pos,
+			"%s.Reduce writes %s with no mutex held; key groups run concurrently under the ConcurrentReduce marker — fold under the receiver's mutex or use sync/atomic", tn.Name(), w.desc)
+	}
+	for _, u := range eff.unresolved {
+		if reported[u.Pos] {
+			continue
+		}
+		reported[u.Pos] = true
+		pass.Reportf(u.Pos,
+			"%s.Reduce makes an unresolvable dynamic call (%s); assume-shared — bound it to an in-module implementation or annotate the site", tn.Name(), u.Desc)
+	}
+	for _, e := range eff.calls {
+		if reported[e.Pos] {
+			continue
+		}
+		path, fact := g.reachSharedWrite(e.Callee, e.Recv == recvLocal)
+		if fact == nil {
+			continue
+		}
+		reported[e.Pos] = true
+		pass.Reportf(e.Pos,
+			"%s.Reduce calls %s, which writes %s with no lock held (path %s); everything Reduce mutates must be guarded", tn.Name(), shortFuncName(e.Callee), fact.Desc, pathString(path))
+	}
+}
+
+// checkNoCopy flags *recv copies inside a pointer-receiver method of a
+// lock-bearing struct: `c := *cr` (or passing *cr by value) duplicates
+// the mutex, and the copy's lock state is meaningless.
+func checkNoCopy(pass *Pass, g *CallGraph, tn *types.TypeName, m *types.Func) {
+	d, ok := g.Decls[m]
+	if !ok {
+		return
+	}
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv()
+	// (*cr).field selects through the pointer without copying; remember
+	// the dereferences that are selector bases so only value copies flag.
+	selBase := make(map[ast.Node]bool)
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectorExpr); ok {
+			selBase[ast.Unparen(s.X)] = true
+		}
+		return true
+	})
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		star, ok := n.(*ast.StarExpr)
+		if !ok || selBase[star] {
+			return true
+		}
+		id, ok := ast.Unparen(star.X).(*ast.Ident)
+		if !ok || d.Pkg.Info.Uses[id] != recv {
+			return true
+		}
+		pass.Reportf(star.Pos(),
+			"%s.%s copies the lock-bearing struct through *%s; a sync.Mutex must not be copied by value", tn.Name(), m.Name(), id.Name)
+		return false
+	})
+}
+
+// hasMutexValue reports whether the type embeds a sync.Mutex /
+// sync.RWMutex by value anywhere in its (nested) struct layout. A mutex
+// behind a pointer field is fine to copy.
+func hasMutexValue(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	if isSyncMutexValue(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if hasMutexValue(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncMutexValue reports whether t itself — not behind a pointer — is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexValue(t types.Type) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return isSyncMutex(t)
+}

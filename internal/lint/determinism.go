@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -12,9 +14,17 @@ import (
 // that feeds an emission path unsorted. The scope is the packages whose
 // outputs must reproduce exactly — the engine, the CMF, the shared data
 // model, and the translator.
+//
+// The check is call-graph-transitive: a helper outside the replayed
+// packages that (through any chain of in-module calls, function values
+// handed off, or interface dispatch) reaches one of the three sources
+// taints every replayed call site, and the diagnostic prints the
+// offending call path. A chain that ends in a dynamic call the graph
+// cannot bound to an in-module implementation is conservatively treated
+// as nondeterministic too.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag time.Now, global math/rand, and unsorted map-range emission in replayed packages",
+	Doc:  "flag time.Now, global math/rand, and unsorted map-range emission reachable from replayed packages",
 	Packages: []string{
 		"internal/mapreduce",
 		"internal/cmf",
@@ -31,75 +41,170 @@ var Determinism = &Analyzer{
 var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
 func runDeterminism(pass *Pass) {
+	// Intraprocedural pass: sources written directly in this package.
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				checkDeterministicCall(pass, n)
+				if msg, _ := nondetCall(pass.Pkg, n); msg != "" {
+					pass.Reportf(n.Pos(), "%s", msg)
+				}
 			case *ast.RangeStmt:
-				checkMapRangeEmission(pass, file, n)
+				if msg, _ := nondetMapRange(pass.Pkg, file, n); msg != "" {
+					pass.Reportf(n.Pos(), "%s", msg)
+				}
 			}
 			return true
 		})
 	}
+
+	// Interprocedural pass: calls (and function references) leaving the
+	// replayed scope whose transitive closure reaches a source. Callees
+	// inside the replayed scope are skipped — their own package run
+	// reports the source directly.
+	g := pass.Prog.CallGraph()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := g.Nodes[fn]
+			if node == nil {
+				continue
+			}
+			reported := make(map[token.Pos]bool) // one diagnostic per call site
+			for _, e := range node.Out {
+				if pass.analyzer.appliesTo(pass.Prog.relOf(e.Callee.Pkg())) {
+					continue
+				}
+				if reported[e.Pos] {
+					continue
+				}
+				path, fact := g.reachFact(e.Callee, pass.Prog.nondetFact, true)
+				if fact == nil {
+					continue
+				}
+				reported[e.Pos] = true
+				verb := "call to"
+				if e.Kind == EdgeRef {
+					verb = "reference to"
+				}
+				pass.Reportf(e.Pos, "%s %s reaches %s via %s; nondeterminism must not be reachable from replayed code",
+					verb, shortFuncName(e.Callee), fact.Desc, pathString(path))
+			}
+			// A dynamic call the graph could not bound is itself a
+			// conservative finding: the callee may do anything.
+			for _, u := range node.Unresolved {
+				pass.Reportf(u.Pos, "dynamic call is unresolvable (%s); assume nondeterministic and keep it out of replayed code", u.Desc)
+			}
+		}
+	}
 }
 
-// checkDeterministicCall flags time.Now and global math/rand draws.
-func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+// nondetFact returns the function's first directly-written
+// nondeterminism source, building the whole-program fact table on first
+// use. It is the base-fact callback for reachFact.
+func (prog *Program) nondetFact(fn *types.Func) *Fact {
+	if !prog.nondetOnce {
+		prog.nondetOnce = true
+		prog.nondet = make(map[*types.Func]*Fact)
+		g := prog.CallGraph()
+		for f, d := range g.Decls {
+			if fact := nondetFactOf(d); fact != nil {
+				prog.nondet[f] = fact
+			}
+		}
+	}
+	return prog.nondet[fn]
+}
+
+// nondetFactOf extracts the first nondeterminism source written directly
+// in the function body (closures included), or nil.
+func nondetFactOf(d declOf) *Fact {
+	var fact *Fact
+	ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+		if fact != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, short := nondetCall(d.Pkg, n); short != "" {
+				fact = &Fact{Pos: n.Pos(), Desc: short}
+			}
+		case *ast.RangeStmt:
+			if _, short := nondetMapRange(d.Pkg, d.File, n); short != "" {
+				fact = &Fact{Pos: n.Pos(), Desc: short}
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// nondetCall classifies time.Now and global math/rand draws, returning
+// the full diagnostic message and the short description used in call
+// paths ("" when the call is clean).
+func nondetCall(pkg *Package, call *ast.CallExpr) (msg, short string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return
+		return "", ""
 	}
-	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return
+		return "", ""
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() != nil {
-		return // methods (e.g. on a seeded *rand.Rand) are fine
+		return "", "" // methods (e.g. on a seeded *rand.Rand) are fine
 	}
 	switch fn.Pkg().Path() {
 	case "time":
 		if fn.Name() == "Now" {
-			pass.Reportf(call.Pos(),
-				"time.Now reads the wall clock; use the simulated clock so runs replay byte-identically")
+			return "time.Now reads the wall clock; use the simulated clock so runs replay byte-identically",
+				"time.Now (wall clock)"
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[fn.Name()] {
-			pass.Reportf(call.Pos(),
-				"rand.%s draws from the global generator; use a *rand.Rand seeded from the cluster/plan seed", fn.Name())
+			return fmt.Sprintf("rand.%s draws from the global generator; use a *rand.Rand seeded from the cluster/plan seed", fn.Name()),
+				fmt.Sprintf("the global rand.%s", fn.Name())
 		}
 	}
+	return "", ""
 }
 
-// checkMapRangeEmission flags `range m` over a map whose body emits
-// (calls an emit/output/write function or appends to a result declared
-// outside the loop) when the enclosing function does not sort afterward.
-// Map iteration order is randomized per run, so such a loop makes the
+// nondetMapRange classifies `range m` over a map whose body emits (calls
+// an emit/output/write function or appends to a result declared outside
+// the loop) when the enclosing function does not sort afterward. Map
+// iteration order is randomized per run, so such a loop makes the
 // emission order — and therefore the simulated byte stream — differ
 // between identical runs.
-func checkMapRangeEmission(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
-	t := pass.Pkg.Info.Types[rng.X].Type
+func nondetMapRange(pkg *Package, file *ast.File, rng *ast.RangeStmt) (msg, short string) {
+	t := pkg.Info.Types[rng.X].Type
 	if t == nil {
-		return
+		return "", ""
 	}
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
-		return
+		return "", ""
 	}
-	how := emissionIn(pass, rng)
+	how := emissionIn(pkg, rng)
 	if how == "" {
-		return
+		return "", ""
 	}
-	if sortsAfter(pass, file, rng) {
-		return
+	if sortsAfter(pkg, file, rng) {
+		return "", ""
 	}
-	pass.Reportf(rng.Pos(),
-		"map iteration order feeds %s without a later sort; iterate sorted keys so emission order replays", how)
+	return fmt.Sprintf("map iteration order feeds %s without a later sort; iterate sorted keys so emission order replays", how),
+		"unsorted map-range emission"
 }
 
 // emissionIn scans the range body for an order-sensitive emission and
 // describes the first one found ("" when none).
-func emissionIn(pass *Pass, rng *ast.RangeStmt) string {
+func emissionIn(pkg *Package, rng *ast.RangeStmt) string {
 	var how string
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		if how != "" {
@@ -115,7 +220,7 @@ func emissionIn(pass *Pass, rng *ast.RangeStmt) string {
 				return false
 			}
 			if name == "append" {
-				if dest := appendTarget(pass, n, rng); dest != "" {
+				if dest := appendTarget(pkg, n, rng); dest != "" {
 					how = "an append to " + dest
 					return false
 				}
@@ -140,7 +245,7 @@ func calleeName(call *ast.CallExpr) string {
 // appendTarget reports the name of the slice being grown when the
 // append's first argument is a variable declared outside the range
 // statement (an accumulating result), "" otherwise.
-func appendTarget(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) string {
+func appendTarget(pkg *Package, call *ast.CallExpr, rng *ast.RangeStmt) string {
 	if len(call.Args) == 0 {
 		return ""
 	}
@@ -148,7 +253,7 @@ func appendTarget(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) string {
 	if !ok {
 		return ""
 	}
-	obj := pass.Pkg.Info.Uses[id]
+	obj := pkg.Info.Uses[id]
 	if obj == nil || obj.Pos() == 0 {
 		return ""
 	}
@@ -161,7 +266,7 @@ func appendTarget(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) string {
 // sortsAfter reports whether the enclosing function calls into package
 // sort lexically after the range statement — the collect-then-sort
 // idiom that restores a deterministic order before anything escapes.
-func sortsAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt) bool {
+func sortsAfter(pkg *Package, file *ast.File, rng *ast.RangeStmt) bool {
 	body := enclosingFuncBody(file, rng.Pos())
 	if body == nil {
 		return false
@@ -176,7 +281,7 @@ func sortsAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt) bool {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
 				switch fn.Pkg().Path() {
 				case "sort", "slices":
 					found = true

@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The fact-propagation layer: analyzers describe what a single function
+// does (a base fact), and the engine answers "is any such fact reachable
+// from here?" over the call graph, returning a witness path for the
+// diagnostic. Two fact families are built in, because three analyzers
+// share them:
+//
+//   - nondeterminism facts (computed in determinism.go): the function
+//     reads the wall clock, draws from the global math/rand generator,
+//     or emits in map-iteration order;
+//   - effect facts (this file): the function writes shared state —
+//     package-level variables, receiver fields, or memory behind pointer
+//     parameters — at a point where it holds no mutex, and the calls it
+//     makes while unlocked.
+//
+// Lock tracking is a lexical approximation, not a proof: Lock/Unlock
+// calls on sync.Mutex / sync.RWMutex values are interpreted in statement
+// order, a deferred Unlock holds to function end, and a lock taken
+// inside a branch is dropped at the join (the conservative direction —
+// a write is only ever considered guarded when every path to it locked).
+// Any held mutex guards any write; the analyzers check the locking
+// convention, they do not model which lock protects which field.
+
+// Fact is one terminal finding a reachability query can land on.
+type Fact struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// reachFact searches breadth-first from start (inclusive) for the
+// nearest function with a base fact, following every edge kind. When
+// includeUnresolved is set, a node with unresolved dynamic calls is
+// itself terminal — the assume-impure default. The returned path runs
+// start..target.
+func (g *CallGraph) reachFact(start *types.Func, base func(*types.Func) *Fact, includeUnresolved bool) ([]*types.Func, *Fact) {
+	type item struct {
+		fn   *types.Func
+		prev *item
+	}
+	expand := func(it *item) []*types.Func {
+		path := []*types.Func{}
+		for ; it != nil; it = it.prev {
+			path = append([]*types.Func{it.fn}, path...)
+		}
+		return path
+	}
+	seen := map[*types.Func]bool{start: true}
+	queue := []*item{{fn: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if f := base(it.fn); f != nil {
+			return expand(it), f
+		}
+		node := g.Nodes[it.fn]
+		if node == nil {
+			continue
+		}
+		if includeUnresolved && len(node.Unresolved) > 0 {
+			u := node.Unresolved[0]
+			return expand(it), &Fact{Pos: u.Pos, Desc: "an unresolved dynamic call (" + u.Desc + ")"}
+		}
+		for _, e := range node.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, &item{fn: e.Callee, prev: it})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Lock-aware traversal
+// ---------------------------------------------------------------------------
+
+// visitLocked walks stmts in source order, invoking visit on every node
+// with the number of mutexes held at that point, and returns the held
+// count after the list. Nested function literals inherit the lexical
+// lock state (an approximation: a closure built under a lock usually
+// runs under it or owns its own discipline, and the conservative
+// analyzers re-check writes inside it anyway).
+func visitLocked(pkg *Package, stmts []ast.Stmt, held int, visit func(n ast.Node, held bool)) int {
+	for _, s := range stmts {
+		held = visitLockedStmt(pkg, s, held, visit)
+	}
+	return held
+}
+
+// visitLockedStmt handles one statement.
+func visitLockedStmt(pkg *Package, s ast.Stmt, held int, visit func(n ast.Node, held bool)) int {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		visitExprLocked(pkg, s.X, held, visit)
+		switch lockDelta(pkg, s.X) {
+		case +1:
+			held++
+		case -1:
+			if held > 0 {
+				held--
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; a deferred Lock (nonsense) is ignored.
+		visitExprLocked(pkg, s.Call, held, visit)
+	case *ast.BlockStmt:
+		held = visitLocked(pkg, s.List, held, visit)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = visitLockedStmt(pkg, s.Init, held, visit)
+		}
+		visitExprLocked(pkg, s.Cond, held, visit)
+		visitLocked(pkg, s.Body.List, held, visit)
+		if s.Else != nil {
+			visitLockedStmt(pkg, s.Else, held, visit)
+		}
+		// Lock state changes inside branches do not survive the join.
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = visitLockedStmt(pkg, s.Init, held, visit)
+		}
+		if s.Cond != nil {
+			visitExprLocked(pkg, s.Cond, held, visit)
+		}
+		visitLocked(pkg, s.Body.List, held, visit)
+		if s.Post != nil {
+			visitLockedStmt(pkg, s.Post, held, visit)
+		}
+	case *ast.RangeStmt:
+		visitExprLocked(pkg, s.X, held, visit)
+		visit(s, held > 0)
+		visitLocked(pkg, s.Body.List, held, visit)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		visit(s, held > 0)
+		var clauses []ast.Stmt
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		for _, c := range clauses {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				for _, e := range c.List {
+					visitExprLocked(pkg, e, held, visit)
+				}
+				visitLocked(pkg, c.Body, held, visit)
+			case *ast.CommClause:
+				if c.Comm != nil {
+					visitLockedStmt(pkg, c.Comm, held, visit)
+				}
+				visitLocked(pkg, c.Body, held, visit)
+			}
+		}
+	case *ast.LabeledStmt:
+		held = visitLockedStmt(pkg, s.Stmt, held, visit)
+	case *ast.GoStmt:
+		// The spawned body starts with no inherited lock: the goroutine
+		// runs after the spawner may have unlocked.
+		visit(s, held > 0)
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			for _, arg := range s.Call.Args {
+				visitExprLocked(pkg, arg, held, visit)
+			}
+			visit(s.Call, held > 0)
+			visitLocked(pkg, lit.Body.List, 0, visit)
+		} else {
+			visitExprLocked(pkg, s.Call, held, visit)
+		}
+	default:
+		// Leaf statements (assign, incdec, return, send, branch, decl):
+		// visit the statement and its expressions at the current state.
+		if s == nil {
+			return held
+		}
+		visit(s, held > 0)
+		ast.Inspect(s, func(n ast.Node) bool {
+			if n == nil || n == s {
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visitLocked(pkg, lit.Body.List, held, visit)
+				return false
+			}
+			visit(n, held > 0)
+			return true
+		})
+	}
+	return held
+}
+
+// visitExprLocked visits one expression tree at a fixed lock state,
+// recursing into function literals with visitLocked.
+func visitExprLocked(pkg *Package, e ast.Expr, held int, visit func(n ast.Node, held bool)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			visitLocked(pkg, lit.Body.List, held, visit)
+			return false
+		}
+		visit(n, held > 0)
+		return true
+	})
+}
+
+// lockDelta reports +1 for expr being a Lock/RLock call on a sync mutex,
+// -1 for Unlock/RUnlock, 0 otherwise.
+func lockDelta(pkg *Package, e ast.Expr) int {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	recv := pkg.Info.Types[sel.X].Type
+	if recv == nil || !isSyncMutex(recv) {
+		return 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return +1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// isSyncMutex reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// isAtomicCall reports whether the call goes to sync/atomic — either a
+// package function (atomic.AddInt64) or a method on an atomic type
+// (counter.Add). Atomic operations are commutative folds, the sanctioned
+// lock-free write.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		return fn.Pkg().Path() == "sync/atomic"
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Effect facts: unguarded shared writes and unguarded calls
+// ---------------------------------------------------------------------------
+
+// sharedWrite is one write to caller-visible state made with no lock
+// held. Writes rooted in the receiver or a pointer parameter are
+// suppressible: when the calling context provably owns the object the
+// method runs on (a local it just created), those writes are private and
+// the reachability search skips them. Package-variable writes never are.
+type sharedWrite struct {
+	pos          token.Pos
+	desc         string
+	suppressible bool
+}
+
+// fnEffects summarizes one function's lock-free behavior.
+type fnEffects struct {
+	writes     []sharedWrite
+	calls      []CallEdge
+	unresolved []UnresolvedCall
+}
+
+// effectsOf computes (and caches) the function's effect facts. Shared
+// roots are package-level variables, the method receiver, and pointer-
+// typed parameters — everything a concurrent caller could also see.
+func (g *CallGraph) effectsOf(fn *types.Func) *fnEffects {
+	if g.prog.effects == nil {
+		g.prog.effects = make(map[*types.Func]*fnEffects)
+	}
+	if eff, ok := g.prog.effects[fn]; ok {
+		return eff
+	}
+	eff := &fnEffects{}
+	g.prog.effects[fn] = eff // pre-store: cycles see an empty summary
+	d, ok := g.Decls[fn]
+	if !ok {
+		return eff
+	}
+	pkg := d.Pkg
+	node := g.Nodes[fn]
+	// Call edges (static, dynamic) are keyed at their CallExpr position;
+	// ref edges at the referencing expression's position. Each is
+	// consumed once, at the lock state the traversal observes there.
+	edgesAt := make(map[token.Pos][]CallEdge)
+	if node != nil {
+		for _, e := range node.Out {
+			edgesAt[e.Pos] = append(edgesAt[e.Pos], e)
+		}
+	}
+	unresAt := make(map[token.Pos]UnresolvedCall)
+	if node != nil {
+		for _, u := range node.Unresolved {
+			unresAt[u.Pos] = u
+		}
+	}
+	takeEdges := func(pos token.Pos, held bool) {
+		edges, ok := edgesAt[pos]
+		if !ok {
+			return
+		}
+		delete(edgesAt, pos)
+		if !held {
+			eff.calls = append(eff.calls, edges...)
+		}
+	}
+	visitLocked(pkg, d.Decl.Body.List, 0, func(n ast.Node, held bool) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if held {
+				return
+			}
+			for _, lhs := range n.Lhs {
+				if w := g.sharedWriteTo(pkg, fn, lhs); w != nil {
+					eff.writes = append(eff.writes, *w)
+				}
+			}
+		case *ast.IncDecStmt:
+			if held {
+				return
+			}
+			if w := g.sharedWriteTo(pkg, fn, n.X); w != nil {
+				eff.writes = append(eff.writes, *w)
+			}
+		case *ast.CallExpr:
+			takeEdges(n.Pos(), held)
+			if u, ok := unresAt[n.Pos()]; ok && !held {
+				eff.unresolved = append(eff.unresolved, u)
+			}
+		case *ast.SelectorExpr, *ast.Ident:
+			// Function references (EdgeRef) escaping at this point.
+			takeEdges(n.(ast.Expr).Pos(), held)
+		}
+	})
+	return eff
+}
+
+// sharedWriteTo reports the write when lhs stores into shared state, nil
+// for local writes. fn is the function whose locals are "private".
+func (g *CallGraph) sharedWriteTo(pkg *Package, fn *types.Func, lhs ast.Expr) *sharedWrite {
+	root := rootIdent(lhs)
+	if root == nil {
+		// *p = v with a non-ident base, or a call result: treat a
+		// dereference store as shared, anything else as untrackable.
+		if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+			return &sharedWrite{pos: star.Pos(), desc: "memory behind a dereferenced pointer"}
+		}
+		return nil
+	}
+	obj, _ := pkg.Info.Uses[root].(*types.Var)
+	if obj == nil {
+		if def, ok := pkg.Info.Defs[root].(*types.Var); ok {
+			obj = def
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case isPkgLevel(obj):
+		return &sharedWrite{pos: lhs.Pos(), desc: "package variable " + obj.Name()}
+	case sig != nil && sig.Recv() != nil && obj == sig.Recv():
+		if _, isSel := ast.Unparen(lhs).(*ast.Ident); isSel {
+			return nil // rebinding the receiver ident itself is local
+		}
+		return &sharedWrite{pos: lhs.Pos(), desc: "receiver state " + renderLHS(lhs), suppressible: true}
+	case isParamOf(sig, obj) && isPointer(obj.Type()) && !rootOnlyIdent(lhs):
+		return &sharedWrite{pos: lhs.Pos(), desc: "state behind pointer parameter " + obj.Name(), suppressible: true}
+	}
+	return nil
+}
+
+// rootIdent finds the base identifier of an lvalue or receiver
+// expression (x, x.f, x[i], x.f[i].g, *x, &x → x).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return nil
+			}
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootOnlyIdent reports whether the lvalue is just the bare identifier
+// (rebinding a parameter locally, not writing through it).
+func rootOnlyIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+// renderLHS prints a compact lvalue for diagnostics.
+func renderLHS(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return renderLHS(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return renderLHS(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + renderLHS(v.X)
+	}
+	return "?"
+}
+
+// isParamOf reports whether obj is one of the signature's parameters.
+func isParamOf(sig *types.Signature, obj *types.Var) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isPointer reports whether t is a pointer type.
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// reachSharedWrite searches breadth-first from start (inclusive),
+// following only calls made without a lock held, for an unguarded shared
+// write or an unresolved dynamic call — a callee locking around its own
+// writes (or around its own calls) terminates the search down that arm.
+//
+// The owned flag threads RacerD-style ownership through the chain: when
+// the calling context created the object a method runs on (startOwned, or
+// a recvLocal edge along the way), receiver- and pointer-parameter-rooted
+// writes in that method are private and skipped; package-variable writes
+// and unresolved calls count regardless. A recvShared edge resets
+// ownership, a recvParam edge inherits it. The returned path runs
+// start..offender.
+func (g *CallGraph) reachSharedWrite(start *types.Func, startOwned bool) ([]*types.Func, *Fact) {
+	type key struct {
+		fn    *types.Func
+		owned bool
+	}
+	type item struct {
+		fn    *types.Func
+		owned bool
+		prev  *item
+	}
+	expand := func(it *item) []*types.Func {
+		var path []*types.Func
+		for ; it != nil; it = it.prev {
+			path = append([]*types.Func{it.fn}, path...)
+		}
+		return path
+	}
+	seen := map[key]bool{{start, startOwned}: true}
+	queue := []*item{{fn: start, owned: startOwned}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		eff := g.effectsOf(it.fn)
+		for _, w := range eff.writes {
+			if it.owned && w.suppressible {
+				continue
+			}
+			return expand(it), &Fact{Pos: w.pos, Desc: w.desc}
+		}
+		if len(eff.unresolved) > 0 {
+			u := eff.unresolved[0]
+			return expand(it), &Fact{Pos: u.Pos, Desc: "an unresolved dynamic call (" + u.Desc + ")"}
+		}
+		for _, e := range eff.calls {
+			next := it.owned
+			switch e.Recv {
+			case recvLocal:
+				next = true
+			case recvShared:
+				next = false
+			}
+			k := key{e.Callee, next}
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, &item{fn: e.Callee, owned: next, prev: it})
+			}
+		}
+	}
+	return nil, nil
+}

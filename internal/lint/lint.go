@@ -1,20 +1,30 @@
 // Package lint is ysmart's project-specific static-analysis suite: a
 // small go/parser + go/types analyzer framework (stdlib only, no
-// golang.org/x/tools dependency) plus the four analyzers behind the
+// golang.org/x/tools dependency) plus the analyzers behind the
 // `ysmart-vet` CI gate. The analyzers machine-check invariants the Go
 // compiler cannot see but replay and CMF correctness depend on:
 //
 //   - determinism: no wall-clock reads, no unseeded global math/rand,
-//     no map-iteration-ordered emission in the simulator's data paths;
+//     no map-iteration-ordered emission in the simulator's data paths —
+//     including through any chain of in-module helper calls, resolved
+//     over the module call graph (callgraph.go, facts.go);
 //   - tagdispatch: a CommonJob built from literals must write only ops
 //     it evaluates, with distinct tags, and every would-be cmf.Op type
 //     must implement the full Name/Sources/Eval triple;
 //   - spanpair: every obs.Begin span must be Ended on every return path
 //     of its function;
-//   - deprecated: no new uses of identifiers documented "Deprecated:".
+//   - deprecated: no new uses of identifiers documented "Deprecated:";
+//   - sharecheck: closures run concurrently by forEachTask (or spawned
+//     with go) may write captured state only into a task-index slot,
+//     under a mutex, or atomically — helpers included;
+//   - concreduce: types carrying the ConcurrentReduce marker must fold
+//     shared state under their mutex and never copy it.
 //
 // A diagnostic on a deliberate exception is silenced with a trailing or
-// preceding `// lint:ignore <check> reason` comment.
+// preceding `// lint:ignore <check> reason` comment. The driver audits
+// the directives themselves: one that silences zero diagnostics (while
+// every check it names has run) is reported as `staleignore`, so dead
+// suppressions cannot linger after the code they excused is gone.
 package lint
 
 import (
@@ -26,7 +36,12 @@ import (
 )
 
 // Analyzers is the full ysmart-vet suite in stable order.
-var Analyzers = []*Analyzer{Determinism, TagDispatch, SpanPair, Deprecated}
+var Analyzers = []*Analyzer{Determinism, TagDispatch, SpanPair, Deprecated, ShareCheck, ConcReduce}
+
+// StaleIgnoreCheck is the name the driver's suppression audit reports
+// under. It is not an Analyzer: the driver itself emits it after all
+// selected analyzers ran over a package.
+const StaleIgnoreCheck = "staleignore"
 
 // Analyzer is one named check over a type-checked package.
 type Analyzer struct {
@@ -103,12 +118,16 @@ func Vet(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	}
 	var diags []Diagnostic
 	for _, t := range targets {
+		ig := ignoresOf(prog.Fset, t.Pkg)
+		ran := make(map[string]bool)
 		for _, a := range analyzers {
 			if !t.Explicit && !a.appliesTo(t.Pkg.Rel) {
 				continue
 			}
-			diags = append(diags, runOne(prog, t.Pkg, a)...)
+			ran[a.Name] = true
+			diags = append(diags, runOne(prog, t.Pkg, a, ig)...)
 		}
+		diags = append(diags, ig.stale(ran)...)
 	}
 	sort.Slice(diags, func(i, k int) bool {
 		a, b := diags[i], diags[k]
@@ -127,14 +146,17 @@ func Vet(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 }
 
 // runOne applies one analyzer to one package and filters ignored
-// diagnostics.
-func runOne(prog *Program, pkg *Package, a *Analyzer) []Diagnostic {
+// diagnostics, marking the directives it consumes. A nil ignore set is
+// built on the spot (the corpus checker runs analyzers one at a time).
+func runOne(prog *Program, pkg *Package, a *Analyzer, ig *ignoreSet) []Diagnostic {
 	pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a}
 	a.Run(pass)
 	if len(pass.diags) == 0 {
 		return nil
 	}
-	ig := ignoresOf(prog.Fset, pkg)
+	if ig == nil {
+		ig = ignoresOf(prog.Fset, pkg)
+	}
 	out := pass.diags[:0]
 	for _, d := range pass.diags {
 		if !ig.silences(d) {
@@ -144,27 +166,34 @@ func runOne(prog *Program, pkg *Package, a *Analyzer) []Diagnostic {
 	return out
 }
 
-// ignoreSet records, per file and line, the checks silenced by
-// lint:ignore directives.
-type ignoreSet map[string]map[int]map[string]bool
+// ignoreDirective is one lint:ignore comment, tracked through a whole
+// vet run so the driver can tell which directives earned their keep.
+type ignoreDirective struct {
+	pos    token.Position
+	checks []string
+	used   bool
+}
+
+// ignoreSet indexes a package's directives by the file:line pairs they
+// cover.
+type ignoreSet struct {
+	byLine map[string]map[int][]*ignoreDirective
+	all    []*ignoreDirective
+}
 
 // ignoresOf collects the package's lint:ignore directives. A directive
 // silences matching diagnostics on its own line; a directive whose
 // comment group stands alone (no code before it on its last line) also
 // silences the line immediately below the group, the staticcheck
 // convention for annotating a whole statement.
-func ignoresOf(fset *token.FileSet, pkg *Package) ignoreSet {
-	ig := make(ignoreSet)
-	add := func(file string, line int, checks []string) {
-		if ig[file] == nil {
-			ig[file] = make(map[int]map[string]bool)
+func ignoresOf(fset *token.FileSet, pkg *Package) *ignoreSet {
+	ig := &ignoreSet{byLine: make(map[string]map[int][]*ignoreDirective)}
+	add := func(d *ignoreDirective, line int) {
+		file := d.pos.Filename
+		if ig.byLine[file] == nil {
+			ig.byLine[file] = make(map[int][]*ignoreDirective)
 		}
-		if ig[file][line] == nil {
-			ig[file][line] = make(map[string]bool)
-		}
-		for _, c := range checks {
-			ig[file][line][c] = true
-		}
+		ig.byLine[file][line] = append(ig.byLine[file][line], d)
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -178,27 +207,71 @@ func ignoresOf(fset *token.FileSet, pkg *Package) ignoreSet {
 				if len(fields) == 0 {
 					continue
 				}
-				checks := strings.Split(fields[0], ",")
-				pos := fset.Position(c.Pos())
-				add(pos.Filename, pos.Line, checks)
-				add(pos.Filename, pos.Line+1, checks)
+				d := &ignoreDirective{
+					pos:    fset.Position(c.Pos()),
+					checks: strings.Split(fields[0], ","),
+				}
+				ig.all = append(ig.all, d)
+				add(d, d.pos.Line)
+				add(d, d.pos.Line+1)
 			}
 		}
 	}
 	return ig
 }
 
-// silences reports whether the diagnostic is covered by a directive.
-func (ig ignoreSet) silences(d Diagnostic) bool {
-	lines := ig[d.Pos.Filename]
+// silences reports whether the diagnostic is covered by a directive,
+// marking every directive that covers it as used.
+func (ig *ignoreSet) silences(d Diagnostic) bool {
+	lines := ig.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	checks := lines[d.Pos.Line]
-	if checks == nil {
-		return false
+	hit := false
+	for _, dir := range lines[d.Pos.Line] {
+		for _, c := range dir.checks {
+			if c == d.Check || c == "*" {
+				dir.used = true
+				hit = true
+			}
+		}
 	}
-	return checks[d.Check] || checks["*"]
+	return hit
+}
+
+// stale reports the directives that silenced nothing even though every
+// check they name ran over the package — dead suppressions. A directive
+// naming a check that did not run is left alone (it may yet earn its
+// keep), and a wildcard is only judged when the entire registered suite
+// ran, since any absent analyzer could have been its target.
+func (ig *ignoreSet) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ig.all {
+		if d.used {
+			continue
+		}
+		judgeable := true
+		for _, c := range d.checks {
+			if c == "*" {
+				for _, a := range Analyzers {
+					if !ran[a.Name] {
+						judgeable = false
+					}
+				}
+			} else if !ran[c] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     d.pos,
+			Check:   StaleIgnoreCheck,
+			Message: fmt.Sprintf("lint:ignore %s silences no diagnostic; remove the stale directive", strings.Join(d.checks, ",")),
+		})
+	}
+	return out
 }
 
 // enclosingFuncBody returns the body of the innermost function (decl or

@@ -10,7 +10,7 @@ import (
 // and checks the diagnostics against the // want comments — both that
 // every finding is expected and that every expectation fires.
 func TestCorpora(t *testing.T) {
-	for _, corpus := range []string{"determinism", "tagdispatch", "spanpair", "deprecated"} {
+	for _, corpus := range []string{"determinism", "tagdispatch", "spanpair", "deprecated", "sharecheck", "concreduce"} {
 		t.Run(corpus, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", corpus)
 			problems, err := CheckCorpus(dir, Analyzers)
@@ -28,7 +28,7 @@ func TestCorpora(t *testing.T) {
 // run through the public driver (the CLI's exit-1 path); a corpus that
 // goes silent means its analyzer regressed.
 func TestCorporaFail(t *testing.T) {
-	for _, corpus := range []string{"determinism", "tagdispatch", "spanpair", "deprecated"} {
+	for _, corpus := range []string{"determinism", "tagdispatch", "spanpair", "deprecated", "sharecheck", "concreduce"} {
 		t.Run(corpus, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", corpus)
 			diags, err := Vet(dir, []string{"."}, Analyzers)
@@ -79,6 +79,66 @@ func TestAnalyzerScopes(t *testing.T) {
 	}
 	if !TagDispatch.appliesTo("internal/cmf") || TagDispatch.appliesTo("internal/exec") {
 		t.Error("tagdispatch scope must be exactly internal/cmf")
+	}
+	if !ShareCheck.appliesTo("internal/mapreduce") || !ShareCheck.appliesTo("internal/difftest") {
+		t.Error("sharecheck must cover the packages that spawn parallel tasks")
+	}
+	if ShareCheck.appliesTo("internal/translator") {
+		t.Error("sharecheck must not cover the sequential translator")
+	}
+	if !ConcReduce.appliesTo("cmd/ysmart") {
+		t.Error("concreduce is unscoped; marker types may live anywhere")
+	}
+}
+
+// TestStaleIgnoreAudit: the driver reports directives that silence
+// nothing, skips directives naming checks that did not run, and judges
+// wildcards only against the full suite.
+func TestStaleIgnoreAudit(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "staleignore")
+
+	diags, err := Vet(dir, []string{"."}, Analyzers)
+	if err != nil {
+		t.Fatalf("Vet(staleignore): %v", err)
+	}
+	var stale []string
+	for _, d := range diags {
+		if d.Check != StaleIgnoreCheck {
+			t.Errorf("unexpected non-audit diagnostic: %s", d)
+			continue
+		}
+		stale = append(stale, d.Message)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("full suite: want 2 stale directives (the dead determinism one and the wildcard), got %d: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0], "lint:ignore determinism") || !strings.Contains(stale[1], "lint:ignore *") {
+		t.Errorf("wrong directives reported: %v", stale)
+	}
+
+	// With only one analyzer selected the wildcard is unjudgeable, but
+	// the dead determinism directive still shows.
+	diags, err = Vet(dir, []string{"."}, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatalf("Vet(staleignore, determinism): %v", err)
+	}
+	if len(diags) != 1 || diags[0].Check != StaleIgnoreCheck || !strings.Contains(diags[0].Message, "lint:ignore determinism") {
+		t.Fatalf("subset run: want exactly the dead determinism directive, got %v", diags)
+	}
+}
+
+// BenchmarkVetModule guards the CI gate's latency: one full-module vet
+// — load, type-check, call graph, every analyzer — must stay within a
+// few seconds on one core.
+func BenchmarkVetModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		diags, err := Vet(filepath.Join("..", ".."), []string{"./..."}, Analyzers)
+		if err != nil {
+			b.Fatalf("Vet(./...): %v", err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("tree not vet-clean: %s", diags[0])
+		}
 	}
 }
 

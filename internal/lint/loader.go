@@ -41,6 +41,12 @@ type Program struct {
 
 	deprecatedOnce bool
 	deprecated     map[types.Object]string
+
+	// Interprocedural caches, built lazily and shared by analyzers.
+	callgraph  *CallGraph
+	effects    map[*types.Func]*fnEffects
+	nondetOnce bool
+	nondet     map[*types.Func]*Fact
 }
 
 // Target is one package selected by the command-line patterns. Explicit

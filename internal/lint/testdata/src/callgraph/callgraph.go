@@ -1,0 +1,59 @@
+// Package callgraph is the fixture for the call-graph builder tests:
+// interface dispatch bounded to in-module implementations, method
+// values, function references, mutual recursion, and an interface with
+// no implementation at all — the case that must degrade to the
+// conservative unresolved default.
+package callgraph
+
+// Animal has exactly two implementations below; a call through it must
+// produce exactly two dynamic edges.
+type Animal interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+func Chorus(a Animal) string {
+	return a.Speak()
+}
+
+// Ghost has no implementation anywhere in the module.
+type Ghost interface{ Boo() }
+
+func Spook(g Ghost) {
+	g.Boo()
+}
+
+// Even and Odd are mutually recursive; graph searches must terminate.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func Apply(f func() string) string { return f() }
+
+// PassRef calls Apply (static) and lets Leaf escape as a value (ref);
+// Apply's own call through f carries no edge — the binding here does.
+func PassRef() string {
+	return Apply(Leaf)
+}
+
+func Leaf() string { return "leaf" }
+
+// MethodValue takes a bound method value: a ref edge to Dog.Speak.
+func MethodValue(d Dog) func() string {
+	return d.Speak
+}

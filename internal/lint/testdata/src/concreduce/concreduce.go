@@ -1,0 +1,142 @@
+// Package concreduce is the golden corpus for the concreduce analyzer:
+// a type carrying the ConcurrentReduce marker promises a Reduce safe to
+// run once per key group concurrently, so it must have a Reduce method,
+// fold shared state only under a held mutex (helpers included), and
+// never copy its lock-bearing struct by value.
+package concreduce
+
+import "sync"
+
+// markedNoReduce breaks the marker's first promise.
+type markedNoReduce struct{} // want "type markedNoReduce carries the ConcurrentReduce marker but has no Reduce method"
+
+func (markedNoReduce) ConcurrentReduce() {}
+
+// good is the exemplar: pointer receivers, mutex-folded state.
+type good struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *good) ConcurrentReduce() {}
+
+func (g *good) Reduce(key string, vals []string, emit func(string)) error {
+	g.mu.Lock()
+	g.n += len(vals)
+	g.mu.Unlock()
+	for _, v := range vals {
+		emit(key + v)
+	}
+	return nil
+}
+
+// racy writes its receiver with no lock held.
+type racy struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *racy) ConcurrentReduce() {}
+
+func (r *racy) Reduce(key string, vals []string, emit func(string)) error {
+	r.n += len(vals) // want "racy.Reduce writes receiver state r.n with no mutex held"
+	return nil
+}
+
+// lazy hides the unguarded write behind a helper; the diagnostic names
+// the path.
+type lazy struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l *lazy) ConcurrentReduce() {}
+
+func (l *lazy) bump() { l.n++ }
+
+func (l *lazy) Reduce(key string, vals []string, emit func(string)) error {
+	l.bump() // want "lazy.Reduce calls concreduce.lazy.bump, which writes receiver state l.n"
+	return nil
+}
+
+// guarded takes the lock before calling the helper; the consumed edge
+// is guarded and the search does not follow it.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) ConcurrentReduce() {}
+
+func (g *guarded) bump() { g.n++ }
+
+func (g *guarded) Reduce(key string, vals []string, emit func(string)) error {
+	g.mu.Lock()
+	g.bump()
+	g.mu.Unlock()
+	return nil
+}
+
+// owned builds a scratch accumulator per call; its receiver writes are
+// private to this key group (the ownership rule).
+type scratch struct{ n int }
+
+func (s *scratch) add(v int) { s.n += v }
+
+type owned struct {
+	mu sync.Mutex
+}
+
+func (o *owned) ConcurrentReduce() {}
+
+func (o *owned) Reduce(key string, vals []string, emit func(string)) error {
+	s := &scratch{}
+	for _, v := range vals {
+		s.add(len(v))
+	}
+	emit(key)
+	return nil
+}
+
+// valrecv copies its sync.Mutex into every call frame.
+type valrecv struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (v valrecv) ConcurrentReduce() {} // want "method valrecv.ConcurrentReduce has a value receiver"
+
+func (v valrecv) Reduce(key string, vals []string, emit func(string)) error { // want "method valrecv.Reduce has a value receiver"
+	return nil
+}
+
+// copier snapshots the whole struct — mutex included — by value.
+type copier struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *copier) ConcurrentReduce() {}
+
+func (c *copier) Reduce(key string, vals []string, emit func(string)) error {
+	snap := *c // want "copier.Reduce copies the lock-bearing struct through"
+	_ = snap
+	return nil
+}
+
+// spooky dispatches through an interface nothing in the module
+// implements; assume-shared. (The determinism analyzer reports the same
+// site as unresolvable too.)
+type ghost interface{ Haunt() }
+
+type spooky struct {
+	mu sync.Mutex
+	g  ghost
+}
+
+func (s *spooky) ConcurrentReduce() {}
+
+func (s *spooky) Reduce(key string, vals []string, emit func(string)) error {
+	s.g.Haunt() // want "unresolvable"
+	return nil
+}

@@ -63,3 +63,36 @@ func sliceRange(xs []string, emit func(string)) {
 		emit(x)
 	}
 }
+
+// --- interprocedural: sources reached through in-module helpers ---
+
+func callsWallClock() int64 {
+	return wallClock().UnixNano() // want "call to determinism.wallClock reaches time.Now \(wall clock\) via determinism.wallClock"
+}
+
+func helperRand() int {
+	return globalRand() // want "call to determinism.globalRand reaches the global rand.Intn via determinism.globalRand"
+}
+
+func viaChain() int {
+	return helperRand() // want "call to determinism.helperRand reaches the global rand.Intn via determinism.helperRand -> determinism.globalRand"
+}
+
+// handsOffClock lets a tainted function escape as a value; whoever
+// receives it can call it, so the reference itself is flagged.
+func handsOffClock() func() time.Time {
+	return wallClock // want "reference to determinism.wallClock reaches time.Now \(wall clock\) via determinism.wallClock"
+}
+
+// callsSeeded: helpers that stick to seeded generators taint nothing.
+func callsSeeded() float64 {
+	return seededRand(7)
+}
+
+// oracle has no in-module implementation, so a call through it cannot
+// be bounded; the conservative assume-nondeterministic default fires.
+type oracle interface{ Draw() int }
+
+func viaOracle(o oracle) int {
+	return o.Draw() // want "dynamic call is unresolvable \(no in-module implementation of oracle.Draw\); assume nondeterministic"
+}

@@ -7,6 +7,7 @@ package kitchen
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"ysmart/internal/cmf"
@@ -50,4 +51,51 @@ func badJob() cmf.CommonJob {
 			{Op: "missing"}, // lint:ignore tagdispatch deliberate for the corpus
 		},
 	}
+}
+
+// viaClock exercises the interprocedural determinism diagnostic: the
+// ignore on clock's own line silences the report there, but the base
+// fact still propagates to callers, so this call needs its own.
+func viaClock() time.Time {
+	return clock() // lint:ignore determinism deliberate for the corpus
+}
+
+// oracle has no in-module implementation; the unresolvable-dispatch
+// diagnostic fires at the call.
+type oracle interface{ Tell() int }
+
+func consult(o oracle) int {
+	return o.Tell() // lint:ignore determinism deliberate for the corpus
+}
+
+type pool struct{ n int }
+
+func (p *pool) forEachTask(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func gather(p *pool, lines []string) error {
+	var out []string
+	return p.forEachTask(len(lines), func(i int) error {
+		// lint:ignore sharecheck exercising the standalone escape hatch
+		out = append(out, lines[i])
+		return nil
+	})
+}
+
+type folder struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (f *folder) ConcurrentReduce() {}
+
+func (f *folder) Reduce(key string, vals []string, emit func(string)) error {
+	f.n += len(vals) // lint:ignore concreduce deliberate for the corpus
+	return nil
 }

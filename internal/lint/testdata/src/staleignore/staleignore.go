@@ -1,0 +1,23 @@
+// Package staleignore exercises the driver's suppression audit. One
+// directive silences a real diagnostic, one silences nothing, one names
+// a check that never ran, and one is a wildcard — the audit must report
+// exactly the dead ones it can judge.
+package staleignore
+
+import "time"
+
+func fresh() time.Time {
+	return time.Now() // lint:ignore determinism this directive is used
+}
+
+func stale() int {
+	return 42 // lint:ignore determinism nothing on this line to silence
+}
+
+func unjudged() int {
+	return 43 // lint:ignore nosuchcheck the named check never runs
+}
+
+func wild() int {
+	return 44 // lint:ignore * judged only when the full suite ran
+}
