@@ -14,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"ysmart/internal/experiments"
 	"ysmart/internal/mapreduce"
 	"ysmart/internal/obs"
+	"ysmart/internal/obs/httpserve"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the robustness figure's deterministic fault scenarios")
 	workers := fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); figures are identical at any count")
+	listen := fs.String("listen", "", "serve bench progress on this address while figures run (/metrics histogram of per-figure wall seconds, /jobs live figure status)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +74,31 @@ func run(args []string) error {
 		{"robustness", func() (figResult, error) { return experiments.Robustness(w, *faultSeed) }},
 	}
 
+	// Bench progress plane: the figure harnesses build engines internally,
+	// so -listen serves the harness's own registry — a wall-clock histogram
+	// per completed figure plus a live status table on /jobs.
+	var progressMu sync.Mutex
+	progress := map[string]string{}
+	var reg *obs.Registry
+	if *listen != "" {
+		reg = obs.NewRegistry()
+		srv := httpserve.New(reg, nil, func() any {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			out := make(map[string]string, len(progress))
+			for k, v := range progress {
+				out[k] = v
+			}
+			return out
+		})
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bench progress listening on http://%s\n", addr)
+	}
+
 	matched := false
 	var rows []experiments.BenchRow
 	for _, f := range figures {
@@ -77,10 +106,21 @@ func run(args []string) error {
 			continue
 		}
 		matched = true
+		progressMu.Lock()
+		progress[f.name] = "running"
+		progressMu.Unlock()
+		figStart := time.Now()
 		result, err := f.run()
 		if err != nil {
 			return fmt.Errorf("fig %s: %w", f.name, err)
 		}
+		if reg != nil {
+			reg.Observe("ysmart_bench_figure_seconds", time.Since(figStart).Seconds(), "figure", f.name)
+			reg.Add("ysmart_bench_figures_total", 1)
+		}
+		progressMu.Lock()
+		progress[f.name] = "done"
+		progressMu.Unlock()
 		if *asJSON {
 			rows = append(rows, result.BenchRows()...)
 			continue

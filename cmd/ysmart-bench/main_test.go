@@ -20,6 +20,17 @@ func TestUnknownFigure(t *testing.T) {
 	}
 }
 
+// TestListenFlag runs one figure with the progress plane up; the server
+// binds an ephemeral port and is torn down when run returns.
+func TestListenFlag(t *testing.T) {
+	if err := run([]string{"-fig", "2b", "-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("fig 2b with -listen: %v", err)
+	}
+	if err := run([]string{"-fig", "2b", "-listen", "256.0.0.1:-1"}); err == nil {
+		t.Error("bad listen address should error")
+	}
+}
+
 // captureStdout runs f with os.Stdout redirected to a pipe and returns what
 // it printed.
 func captureStdout(t *testing.T, f func() error) []byte {

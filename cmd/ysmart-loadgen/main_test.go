@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ysmart/internal/experiments"
+)
+
+// TestLoadgenEndToEnd replays a short stream with the admin plane up and
+// asserts the bench rows carry non-zero quantiles from the histogram and
+// the selfcheck probe passes against the live endpoints.
+func TestLoadgenEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "rows.json")
+	logPath := filepath.Join(dir, "events.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-queries", "Q17,Q21",
+		"-clients", "2",
+		"-requests", "6",
+		"-listen", "127.0.0.1:0",
+		"-selfcheck",
+		"-json", jsonPath,
+		"-log", logPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "selfcheck: all admin endpoints healthy") {
+		t.Errorf("selfcheck line missing from output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99_ms") {
+		t.Errorf("latency table missing from output:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read bench rows: %v", err)
+	}
+	var rows []experiments.BenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("bench rows not valid JSON: %v", err)
+	}
+	if len(rows) != 3 { // Q17, Q21, all
+		t.Fatalf("got %d rows, want 3: %s", len(rows), data)
+	}
+	var sawAll bool
+	for _, r := range rows {
+		if r.Figure != "loadgen" {
+			t.Errorf("row %s: figure = %q, want loadgen", r.Query, r.Figure)
+		}
+		if r.P99 <= 0 || r.P50 <= 0 || r.QPS <= 0 {
+			t.Errorf("row %s: p50/p99/qps must be positive, got %+v", r.Query, r)
+		}
+		if r.P50 > r.P99 {
+			t.Errorf("row %s: p50 %v > p99 %v", r.Query, r.P50, r.P99)
+		}
+		if r.Query == "all" {
+			sawAll = true
+			if r.Requests != 6 {
+				t.Errorf("aggregate row requests = %d, want 6", r.Requests)
+			}
+		}
+	}
+	if !sawAll {
+		t.Errorf("no aggregate row in %s", data)
+	}
+
+	// The structured event stream must be one valid JSON object per line
+	// with job lifecycle events from the engine.
+	events, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("read event log: %v", err)
+	}
+	var sawJobDone bool
+	for _, line := range strings.Split(strings.TrimRight(string(events), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("event line not valid JSON: %v\n%s", err, line)
+		}
+		if obj["event"] == "job.done" {
+			sawJobDone = true
+		}
+	}
+	if !sawJobDone {
+		t.Errorf("no job.done event in log:\n%s", events)
+	}
+}
+
+// TestLoadgenFlagErrors covers flag validation paths.
+func TestLoadgenFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-queries", "Q99"},              // unknown query
+		{"-selfcheck"},                   // selfcheck without -listen
+		{"-clients", "0"},                // invalid client count
+		{"-requests", "0"},               // invalid request count
+		{"-mode", "nope"},                // unknown mode
+		{"-cluster", "nope"},             // unknown cluster
+		{"-log", "-", "-log-level", "x"}, // unknown level
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -18,6 +18,10 @@
 //	ysmart -query Q21 -run -timeline         # ASCII Gantt of the simulated run
 //	ysmart -query Q21 -run -metrics -        # Prometheus-style counter dump
 //	ysmart -query Q21 -run -analyze          # job graph annotated with counters
+//	ysmart -query Q21 -run -log -            # structured JSON event stream on stderr
+//	ysmart -query Q21 -listen 127.0.0.1:8080 # admin HTTP plane: /metrics, /trace,
+//	                                         # /jobs, /debug/pprof; blocks after the
+//	                                         # run until interrupted
 //
 // Fault injection (deterministic, seeded; see mapreduce.FaultPlan):
 //
@@ -29,10 +33,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ysmart"
+	"ysmart/internal/obs/httpserve"
 )
 
 func main() {
@@ -62,11 +69,15 @@ func run(args []string) error {
 		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
 		speculate = fs.Bool("speculate", false, "launch backup attempts for straggling tasks; implies -run")
 		workers   = fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); results are identical at any count")
+		listen    = fs.String("listen", "", "serve the admin HTTP plane (/metrics, /trace, /jobs, /debug/pprof) on this address; implies -run and blocks after the run until interrupted")
+		logTo     = fs.String("log", "", "write the structured JSON event stream to <file> (- for stderr); implies -run")
+		logLevel  = fs.String("log-level", "info", "minimum event level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze || *faults != "" || *speculate {
+	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze || *faults != "" || *speculate ||
+		*listen != "" || *logTo != "" {
 		*runIt = true
 	}
 
@@ -98,15 +109,34 @@ func run(args []string) error {
 
 	// Instrumentation is created before translation so rule-application
 	// events from the merging phase land in the same trace as execution.
+	// The admin plane forces both a collector and a registry so /trace
+	// and /metrics have data to serve.
 	var collector *ysmart.Collector
 	var registry *ysmart.Registry
-	if *traceOut != "" || *timeline {
+	if *traceOut != "" || *timeline || *listen != "" {
 		collector = ysmart.NewCollector()
 	}
-	if *metricsTo != "" {
+	if *metricsTo != "" || *listen != "" {
 		registry = ysmart.NewRegistry()
 	}
-	opts := ysmart.Options{QueryName: strings.ToLower(label), Metrics: registry}
+	var logger *ysmart.Logger
+	if *logTo != "" {
+		min, ok := ysmart.ParseLogLevel(*logLevel)
+		if !ok {
+			return fmt.Errorf("unknown log level %q", *logLevel)
+		}
+		w := io.Writer(os.Stderr)
+		if *logTo != "-" {
+			f, err := os.Create(*logTo)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		logger = ysmart.NewLogger(w, min)
+	}
+	opts := ysmart.Options{QueryName: strings.ToLower(label), Metrics: registry, Logger: logger}
 	if collector != nil {
 		opts.Tracer = collector
 	}
@@ -172,6 +202,20 @@ func run(args []string) error {
 		rt.LoadTables(clicks)
 	}
 
+	// The admin plane comes up before the run so a watcher can scrape
+	// /metrics while the query executes.
+	var admin *httpserve.Server
+	if *listen != "" {
+		admin = httpserve.New(registry, collector, nil)
+		addr, err := admin.Start(*listen)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		lastAdminAddr = addr
+		fmt.Printf("admin plane listening on http://%s\n", addr)
+	}
+
 	var runOpts []ysmart.RunOption
 	if collector != nil {
 		runOpts = append(runOpts, ysmart.WithTracer(collector))
@@ -179,9 +223,16 @@ func run(args []string) error {
 	if registry != nil {
 		runOpts = append(runOpts, ysmart.WithMetrics(registry))
 	}
+	if logger != nil {
+		runOpts = append(runOpts, ysmart.WithLogger(logger))
+	}
 	res, err := rt.Run(tr, runOpts...)
 	if err != nil {
 		return err
+	}
+	if admin != nil {
+		// Post-run, /jobs serves the executed chain's per-job stats.
+		admin.SetJobs(func() any { return res.Stats.Jobs })
 	}
 
 	fmt.Println("== execution ==")
@@ -228,7 +279,24 @@ func run(args []string) error {
 			return fmt.Errorf("write metrics: %w", err)
 		}
 	}
+	if admin != nil {
+		fmt.Println("serving admin plane; press Ctrl-C to exit")
+		waitInterrupt()
+	}
 	return nil
+}
+
+// lastAdminAddr records the bound address of the most recent -listen
+// server so tests (which stub waitInterrupt) can probe it while it serves.
+var lastAdminAddr string
+
+// waitInterrupt blocks until the process receives an interrupt. Tests
+// replace it to return immediately.
+var waitInterrupt = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	signal.Stop(ch)
 }
 
 // writeOutput writes data to a file, or stdout when path is "-".

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"testing"
@@ -214,6 +217,87 @@ func TestRunFaultFlags(t *testing.T) {
 	}
 	if err := run([]string{"-query", "Q-AGG", "-faults", "node=99@10"}); err == nil {
 		t.Error("out-of-range node should fail cluster validation")
+	}
+}
+
+// TestRunAdminPlaneAndLog brings up -listen on an ephemeral port, probes
+// every admin endpoint while the server is live (from inside the stubbed
+// interrupt wait), and checks the -log event stream is valid JSON carrying
+// translator and engine lifecycle events.
+func TestRunAdminPlaneAndLog(t *testing.T) {
+	logPath := t.TempDir() + "/events.jsonl"
+	origWait := waitInterrupt
+	defer func() { waitInterrupt = origWait }()
+	probeErr := make(chan error, 1)
+	waitInterrupt = func() {
+		probeErr <- func() error {
+			base := "http://" + lastAdminAddr
+			for _, path := range []string{"/metrics", "/trace", "/jobs", "/debug/pprof/"} {
+				resp, err := http.Get(base + path)
+				if err != nil {
+					return err
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					return err
+				}
+				if resp.StatusCode != http.StatusOK {
+					return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+				}
+				switch path {
+				case "/metrics":
+					for _, want := range []string{
+						"ysmart_job_map_seconds_bucket",
+						"ysmart_chain_sim_seconds_sum",
+						"ysmart_chain_sim_seconds_count",
+					} {
+						if !strings.Contains(string(body), want) {
+							return fmt.Errorf("GET /metrics missing %s:\n%s", want, body)
+						}
+					}
+				case "/jobs":
+					var jobs []map[string]any
+					if err := json.Unmarshal(body, &jobs); err != nil {
+						return fmt.Errorf("GET /jobs not a JSON array: %v", err)
+					}
+					if len(jobs) == 0 {
+						return fmt.Errorf("GET /jobs returned no job stats")
+					}
+				}
+			}
+			return nil
+		}()
+	}
+	if err := run([]string{"-query", "Q21", "-listen", "127.0.0.1:0", "-log", logPath, "-max-rows", "1"}); err != nil {
+		t.Fatalf("run -listen: %v", err)
+	}
+	if err := <-probeErr; err != nil {
+		t.Fatalf("admin plane probe: %v", err)
+	}
+
+	events, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(events), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("event line not valid JSON: %v\n%s", err, line)
+		}
+		if ev, ok := obj["event"].(string); ok {
+			seen[ev] = true
+		}
+	}
+	for _, want := range []string{"plan.merge", "chain.start", "job.done", "chain.done"} {
+		if !seen[want] {
+			t.Errorf("event log missing %q events; saw %v", want, seen)
+		}
+	}
+
+	if err := run([]string{"-query", "Q21", "-log", "-", "-log-level", "nope"}); err == nil {
+		t.Error("unknown log level should error")
 	}
 }
 

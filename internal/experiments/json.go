@@ -21,6 +21,15 @@ type BenchRow struct {
 	Recomputed  int     `json:"recomputed,omitempty"`
 	Speculative int     `json:"speculative,omitempty"`
 	ResultOK    bool    `json:"result_ok,omitempty"`
+	// Load-harness fields, set only by ysmart-loadgen rows (figure
+	// "loadgen"): wall-clock latency quantiles in seconds read from the
+	// shared query-latency histogram, and sustained queries per second.
+	Clients  int     `json:"clients,omitempty"`
+	Requests int     `json:"requests,omitempty"`
+	QPS      float64 `json:"qps,omitempty"`
+	P50      float64 `json:"p50,omitempty"`
+	P90      float64 `json:"p90,omitempty"`
+	P99      float64 `json:"p99,omitempty"`
 }
 
 // benchRow flattens a Run into one figure's row.

@@ -80,3 +80,48 @@ func closureScope(t obs.Tracer, run func(func())) {
 		_ = sp
 	})
 }
+
+// The observability plane interleaves structured log calls with open
+// spans (the engine's job lifecycle logging). A guarded early return
+// between Begin and End still owes the End.
+func logGuardedEarlyReturn(t obs.Tracer, l *obs.Logger, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended on the return path"
+	if l.Enabled(obs.LevelInfo) {
+		l.Info("job.start", obs.F("job", "j"))
+		if fail {
+			return errFail
+		}
+	}
+	sp.End(1)
+	return nil
+}
+
+// The canonical instrumented call site: defer covers the span while log
+// and histogram calls interleave on every path.
+func logAndObserveDeferred(t obs.Tracer, l *obs.Logger, reg *obs.Registry, fail bool) error {
+	sp := obs.Begin(t, "job", "j", "driver", 0)
+	defer sp.End(1)
+	l.Info("job.start", obs.F("job", "j"))
+	reg.Observe("ysmart_job_map_seconds", 1.5)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// Recording into a registry mid-span does not hand the span off: the
+// obligation survives unrelated instrumentation calls.
+func observeDoesNotDischarge(t obs.Tracer, reg *obs.Registry) {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended"
+	reg.Observe("ysmart_job_map_seconds", 1.5)
+	reg.Add("ysmart_engine_jobs_total", 1)
+	_ = sp
+}
+
+// Logging the span's own fields (not the handle) is not an escape either;
+// only passing the *ActiveSpan itself transfers ownership.
+func logFieldsDoesNotDischarge(t obs.Tracer, l *obs.Logger) {
+	sp := obs.Begin(t, "job", "j", "driver", 0) // want "span sp begun here is not Ended"
+	l.Debug("job.span", obs.F("name", "j"))
+	_ = sp
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"ysmart/internal/obs"
 )
 
 // This file is the event-level wave scheduler behind FaultPlan. The
@@ -376,6 +378,12 @@ func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombin
 	}
 
 	s.StartupTime = cm.JobStartup
+	// The fault-free analytic equivalent of this job: what the cost model
+	// predicted before recovery stretched the schedule.
+	s.PredictedTime = cm.JobStartup +
+		mapBase + mapWaves*cm.TaskOverhead +
+		shuffleTime +
+		redBase + redWaves*cm.TaskOverhead
 	mapStart := e.simNow + s.StartupTime
 
 	// ----- Map phase, with in-phase recompute of output lost to node deaths.
@@ -394,6 +402,10 @@ func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombin
 			break
 		}
 		s.RecomputedMapTasks += n
+		e.logger.Warn("map.recompute",
+			obs.F("job", j.Name), obs.F("tasks", int64(n)),
+			obs.F("reason", "map output lost to node death"),
+			obs.F("sim_s", mp.end(mapStart)))
 	}
 	mapEnd := mp.end(mapStart)
 
@@ -409,6 +421,10 @@ func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombin
 			break
 		}
 		s.RecomputedMapTasks += n
+		e.logger.Warn("map.recompute",
+			obs.F("job", j.Name), obs.F("tasks", int64(n)),
+			obs.F("reason", "unfetched map output lost during shuffle"),
+			obs.F("sim_s", shuffleEnd))
 		if end := mp.end(mapStart); end > shuffleEnd {
 			shuffleEnd = end
 		}
@@ -461,6 +477,7 @@ func (e *Engine) costMapOnlyFaulty(j *Job, s *JobStats, preCombineRecords, preCo
 	}
 
 	s.StartupTime = cm.JobStartup
+	s.PredictedTime = cm.JobStartup + mapBase + mapWaves*cm.TaskOverhead
 	mapStart := e.simNow + s.StartupTime
 	mp := newPhaseSched(plan, cl.Speculation, j.Name, "map",
 		mapBase/mapWaves, cm.TaskOverhead,

@@ -51,6 +51,14 @@ type JobStats struct {
 	MapBottleneck    string
 	ReduceBottleneck string
 
+	// PredictedTime is the analytic cost model's prediction of the job's
+	// startup+map+shuffle+reduce seconds (GapBefore excluded). On the
+	// analytic path it equals the measured total, so drift is 1; under a
+	// FaultPlan it is the fault-free analytic time, and actual/predicted
+	// measures how far recovery pushed the job off the model — the
+	// cost-model drift metric the admin plane exports.
+	PredictedTime float64
+
 	// Event-level fault recovery, filled only when the cluster carries an
 	// active FaultPlan (all zero and nil otherwise, so fault-free runs stay
 	// byte-identical to a plan-free engine).
@@ -83,6 +91,16 @@ func (s *JobStats) TotalTime() float64 {
 // ReducePhaseTime reports shuffle+reduce together, the way Hadoop's UI (and
 // the paper's breakdown figures) attribute time to the "reduce phase".
 func (s *JobStats) ReducePhaseTime() float64 { return s.ShuffleTime + s.ReduceTime }
+
+// CostDrift is the ratio of measured to predicted job time (1 when the
+// analytic model was exact, >1 when fault recovery stretched the job past
+// the model's prediction). It reports 1 when no prediction was recorded.
+func (s *JobStats) CostDrift() float64 {
+	if s.PredictedTime <= 0 {
+		return 1
+	}
+	return (s.StartupTime + s.MapTime + s.ShuffleTime + s.ReduceTime) / s.PredictedTime
+}
 
 // String renders the one-line per-job summary of the execution report.
 func (s *JobStats) String() string {

@@ -24,7 +24,66 @@ func (e *Engine) finishJob(j *Job, s *JobStats, start float64) {
 	if e.metrics != nil {
 		e.recordJobMetrics(s)
 	}
+	e.logJob(j, s, end)
 	e.simNow = end
+}
+
+// logJob emits the job's structured lifecycle events: one job.done info
+// line, warn lines for recovery activity and node deaths, and (at debug)
+// one line per non-primary scheduled attempt.
+func (e *Engine) logJob(j *Job, s *JobStats, end float64) {
+	if !e.logger.Enabled(obs.LevelError) {
+		return
+	}
+	e.logger.Info("job.done",
+		obs.F("job", j.Name),
+		obs.F("sim_s", end),
+		obs.F("total_s", s.StartupTime+s.MapTime+s.ShuffleTime+s.ReduceTime),
+		obs.F("map_s", s.MapTime),
+		obs.F("shuffle_s", s.ShuffleTime),
+		obs.F("reduce_s", s.ReduceTime),
+		obs.F("map_tasks", int64(s.NumMapTasks)),
+		obs.F("reduce_tasks", int64(s.NumReduceTasks)),
+		obs.F("scan_bytes", s.MapInputBytes),
+		obs.F("shuffle_bytes", s.ShuffleBytes),
+		obs.F("output_rows", s.ReduceOutputRecords),
+		obs.F("cost_drift", s.CostDrift()))
+	if s.HasRecovery() {
+		e.logger.Warn("job.recovery",
+			obs.F("job", j.Name),
+			obs.F("retries", int64(s.Retries())),
+			obs.F("recomputed", int64(s.RecomputedMapTasks)),
+			obs.F("speculative", int64(s.SpeculativeTasks)),
+			obs.F("speculative_wins", int64(s.SpeculativeWins)))
+	}
+	if s.NodeFailures > 0 {
+		e.logger.Warn("job.node_failures",
+			obs.F("job", j.Name), obs.F("nodes", int64(s.NodeFailures)))
+	}
+	if !e.logger.Enabled(obs.LevelDebug) {
+		return
+	}
+	for _, a := range s.Attempts {
+		if a.Attempt == 0 && a.Outcome == OutcomeOK && !a.Speculative && !a.Recompute {
+			continue // primary successful attempts are the uninteresting bulk
+		}
+		event := "task.retry"
+		switch {
+		case a.Speculative:
+			event = "task.speculative"
+		case a.Recompute:
+			event = "task.recompute"
+		}
+		e.logger.Debug(event,
+			obs.F("job", j.Name),
+			obs.F("phase", a.Phase),
+			obs.F("task", int64(a.Task)),
+			obs.F("attempt", int64(a.Attempt)),
+			obs.F("node", int64(a.Node)),
+			obs.F("outcome", a.Outcome),
+			obs.F("start_s", a.Start),
+			obs.F("dur_s", a.Dur))
+	}
 }
 
 // emitJobTrace emits the job ⊇ phase ⊇ wave ⊇ task span hierarchy plus the
@@ -198,6 +257,22 @@ func (e *Engine) recordJobMetrics(s *JobStats) {
 	m.Add("ysmart_engine_phase_seconds_total", s.MapTime, "phase", "map")
 	m.Add("ysmart_engine_phase_seconds_total", s.ShuffleTime, "phase", "shuffle")
 	m.Add("ysmart_engine_phase_seconds_total", s.ReduceTime, "phase", "reduce")
+	// Distribution families: how map/reduce durations, shuffle volume and
+	// result cardinality spread across the jobs of a workload — the
+	// ReStore-style statistics deciding which sub-plan outputs are worth
+	// materializing.
+	m.Observe("ysmart_job_map_seconds", s.MapTime)
+	if !s.MapOnly {
+		m.Observe("ysmart_job_reduce_seconds", s.ReduceTime)
+		m.Observe("ysmart_job_shuffle_bytes", float64(s.ShuffleBytes))
+	}
+	m.Observe("ysmart_job_output_rows", float64(s.ReduceOutputRecords))
+	// Cost-model drift: measured versus analytically predicted job time.
+	// The totals reconstruct fleet-wide drift; the per-job gauge pinpoints
+	// which job the model misjudged.
+	m.Add("ysmart_costmodel_predicted_seconds_total", s.PredictedTime)
+	m.Add("ysmart_costmodel_actual_seconds_total", s.StartupTime+s.MapTime+s.ShuffleTime+s.ReduceTime)
+	m.Set("ysmart_costmodel_drift_ratio", s.CostDrift(), "job", s.Name)
 	for _, d := range s.Dispatch {
 		m.Add("ysmart_cmf_op_input_rows_total", float64(d.InRows), "op", d.Op)
 		m.Add("ysmart_cmf_op_output_rows_total", float64(d.OutRows), "op", d.Op)

@@ -1,0 +1,178 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ysmart/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestMetricsEndpointServesHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Observe("ysmart_query_latency_seconds", 0.25, "query", "q17")
+	reg.Add("ysmart_engine_jobs_total", 3)
+	s := New(reg, nil, nil)
+
+	code, body := get(t, s.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE ysmart_query_latency_seconds histogram",
+		`ysmart_query_latency_seconds_bucket{query="q17",le="+Inf"} 1`,
+		`ysmart_query_latency_seconds_count{query="q17"} 1`,
+		"ysmart_engine_jobs_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	col := obs.NewCollector()
+	col.Emit(obs.SpanEvent("job", "j1", "job:j1", 0, 5))
+	s := New(nil, col, nil)
+
+	code, body := get(t, s.Handler(), "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("/trace invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 2 {
+		t.Errorf("/trace has %d events, want span + metadata", len(parsed.TraceEvents))
+	}
+}
+
+func TestTraceEndpointNilCollector(t *testing.T) {
+	code, body := get(t, New(nil, nil, nil).Handler(), "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Errorf("/trace with nil collector not valid JSON: %s", body)
+	}
+}
+
+func TestJobsEndpoint(t *testing.T) {
+	s := New(nil, nil, func() any {
+		return map[string]any{"done": 7, "queries": []string{"Q17"}}
+	})
+	code, body := get(t, s.Handler(), "/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/jobs status = %d", code)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(body), &obj); err != nil {
+		t.Fatalf("/jobs invalid JSON: %v", err)
+	}
+	if obj["done"] != 7.0 {
+		t.Errorf("/jobs done = %v, want 7", obj["done"])
+	}
+
+	// Swapping the callback while serving must take effect.
+	s.SetJobs(func() any { return map[string]any{"done": 8} })
+	_, body = get(t, s.Handler(), "/jobs")
+	if !strings.Contains(body, "8") {
+		t.Errorf("SetJobs not picked up: %s", body)
+	}
+}
+
+func TestPprofAndIndexEndpoints(t *testing.T) {
+	s := New(nil, nil, nil)
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		code, _ := get(t, s.Handler(), path)
+		if code != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, code)
+		}
+	}
+	if code, _ := get(t, s.Handler(), "/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope status = %d, want 404", code)
+	}
+}
+
+func TestStartServesOnRealSocket(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Observe("lat_seconds", 1)
+	s := New(reg, nil, nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "lat_seconds_count") {
+		t.Errorf("real-socket /metrics = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentRecordersAndScrapes drives writers into the registry and
+// collector while handlers scrape — the race-detector proof for the
+// acceptance criterion.
+func TestConcurrentRecordersAndScrapes(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := obs.NewCollector()
+	var mu sync.Mutex
+	done := 0
+	s := New(reg, col, func() any {
+		mu.Lock()
+		defer mu.Unlock()
+		return map[string]int{"done": done}
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Observe("lat_seconds", float64(i)/100)
+				reg.Add("ops_total", 1)
+				col.Emit(obs.SpanEvent("job", "j", "job:j", float64(i), 1))
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, path := range []string{"/metrics", "/jobs", "/trace"} {
+					if code, _ := get(t, s.Handler(), path); code != http.StatusOK {
+						t.Errorf("%s = %d under load", path, code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// Level orders log events by severity.
+type Level int
+
+// Log levels, least to most severe.
+const (
+	// LevelDebug is high-volume detail: per-attempt fault scheduling,
+	// per-rule translator decisions.
+	LevelDebug Level = iota
+	// LevelInfo is lifecycle events: chains, jobs, merges.
+	LevelInfo
+	// LevelWarn is recoverable trouble: retries, recomputes, node deaths.
+	LevelWarn
+	// LevelError is failures that abort work.
+	LevelError
+)
+
+// String returns the level's lower-case name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Logger writes one JSON object per event, one event per line, so job
+// lifecycle, retries, speculation and plan-merge decisions are greppable
+// as a single stream (`jq 'select(.event=="task.retry")'`). Field order is
+// deterministic: "level" and "event" first, then the caller's fields in
+// the order given — never sorted, never wall-clock-stamped, so identical
+// runs log identical bytes. Producers stamp simulated time as an ordinary
+// field when they have it.
+//
+// A nil *Logger is a valid no-op: every method short-circuits, so
+// producers thread loggers unconditionally and pay one nil check when
+// logging is off. Logger is safe for concurrent use; each event is
+// written in one Write call.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger returns a logger writing events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether events at lvl would be written. Producers can
+// gate expensive field construction on it.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= l.min
+}
+
+// Log writes one event at lvl. Fields render in the order given, after
+// the fixed "level" and "event" keys.
+func (l *Logger) Log(lvl Level, event string, fields ...Field) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"level":`)
+	buf.WriteString(jsonValue(lvl.String()))
+	buf.WriteString(`,"event":`)
+	buf.WriteString(jsonValue(event))
+	for _, f := range fields {
+		buf.WriteByte(',')
+		buf.WriteString(jsonValue(f.Key))
+		buf.WriteByte(':')
+		buf.WriteString(jsonValue(f.Value))
+	}
+	buf.WriteString("}\n")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(buf.Bytes())
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(event string, fields ...Field) { l.Log(LevelDebug, event, fields...) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(event string, fields ...Field) { l.Log(LevelInfo, event, fields...) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(event string, fields ...Field) { l.Log(LevelWarn, event, fields...) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(event string, fields ...Field) { l.Log(LevelError, event, fields...) }
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to its
+// Level; unknown names default to LevelInfo with ok=false.
+func ParseLevel(name string) (Level, bool) {
+	switch name {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelInfo, false
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerDeterministicFieldOrder(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelDebug)
+	l.Info("job.done", F("job", "q21-job1"), F("sim_s", 12.5), F("retries", int64(2)), F("ok", true))
+	got := buf.String()
+	want := `{"level":"info","event":"job.done","job":"q21-job1","sim_s":12.5,"retries":2,"ok":true}` + "\n"
+	if got != want {
+		t.Errorf("logged line = %s, want %s", got, want)
+	}
+	// Every line must be valid JSON.
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(got), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("a")
+	l.Info("b")
+	l.Warn("c")
+	l.Error("d")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"warn"`) || !strings.Contains(lines[1], `"error"`) {
+		t.Errorf("unexpected lines: %q", lines)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerNilIsNoop(t *testing.T) {
+	var l *Logger
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	// Must not panic.
+	l.Info("event", F("k", "v"))
+	l.Log(LevelError, "event")
+}
+
+func TestLoggerEscapesStrings(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("weird", F("msg", "line1\nline2 \"quoted\""))
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if obj["msg"] != "line1\nline2 \"quoted\"" {
+		t.Errorf("round-tripped msg = %q", obj["msg"])
+	}
+}
+
+func TestLoggerConcurrentWriters(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Info("tick", F("n", int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*200 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*200)
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON line %q: %v", line, err)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError,
+	} {
+		got, ok := ParseLevel(name)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Error("ParseLevel accepted unknown name")
+	}
+}
+
+// syncBuffer is a mutex-guarded strings.Builder for concurrent tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}

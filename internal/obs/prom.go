@@ -9,23 +9,78 @@ import (
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (one `# TYPE` header per metric family, then `name{labels} value`
 // lines), sorted by name then labels so output is deterministic.
+//
+// Histograms render as the spec's three families: cumulative
+// `name_bucket{le="..."}` lines ending at `le="+Inf"`, plus `name_sum` and
+// `name_count`. Empty trailing buckets are elided — the bucket list stops
+// at the first bound that already holds every observation, then jumps to
+// +Inf — keeping text dumps of wide fixed layouts readable while staying
+// cumulative and therefore spec-valid.
 func WritePrometheus(w io.Writer, r *Registry) error {
 	lastFamily := ""
 	for _, m := range r.Snapshot() {
 		if m.Name != lastFamily {
 			kind := "counter"
-			if m.Kind == GaugeKind {
+			switch m.Kind {
+			case GaugeKind:
 				kind = "gauge"
+			case HistogramKind:
+				kind = "histogram"
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
 				return err
 			}
 			lastFamily = m.Name
 		}
+		if m.Kind == HistogramKind {
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%s%s %s\n",
-			m.Name, m.LabelString(), strconv.FormatFloat(m.Value, 'g', -1, 64)); err != nil {
+			m.Name, m.LabelString(), formatFloat(m.Value)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeHistogram renders one histogram metric's _bucket/_sum/_count lines.
+func writeHistogram(w io.Writer, m Metric) error {
+	h := m.Hist
+	if h == nil {
+		h = newHistogram()
+	}
+	var cum uint64
+	for i, c := range h.Counts[:len(h.Bounds)] {
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, bucketLabels(m.Labels, formatFloat(h.Bounds[i])), cum); err != nil {
+			return err
+		}
+		if cum == h.Count {
+			break // remaining finite buckets are empty; +Inf closes the family
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		m.Name, bucketLabels(m.Labels, "+Inf"), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, m.LabelString(), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, m.LabelString(), h.Count)
+	return err
+}
+
+// bucketLabels renders a metric's labels with `le` appended last.
+func bucketLabels(labels [][2]string, le string) string {
+	m := Metric{Labels: append(append([][2]string(nil), labels...), [2]string{"le", le})}
+	return m.LabelString()
+}
+
+// formatFloat is the canonical number rendering of the exporter.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

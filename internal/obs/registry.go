@@ -7,7 +7,7 @@ import (
 	"sync"
 )
 
-// MetricKind distinguishes counters from gauges.
+// MetricKind distinguishes counters, gauges and histograms.
 type MetricKind int
 
 // Metric kinds.
@@ -16,6 +16,9 @@ const (
 	CounterKind MetricKind = iota
 	// GaugeKind is a last-write-wins value.
 	GaugeKind
+	// HistogramKind is a distribution: fixed exponential buckets plus
+	// exact-count quantile estimation (see Histogram).
+	HistogramKind
 )
 
 // Metric is one named value with optional labels.
@@ -24,17 +27,29 @@ type Metric struct {
 	// Labels are sorted key/value pairs.
 	Labels [][2]string
 	Kind   MetricKind
-	Value  float64
+	// Value holds the counter or gauge value (unused for histograms).
+	Value float64
+	// Hist holds the distribution of a HistogramKind metric (nil otherwise).
+	Hist *Histogram
 }
 
-// LabelString renders the labels as `{k="v",...}` (empty for none).
+// promEscapeValue escapes a label value per the Prometheus text exposition
+// format: only backslash, double-quote and line-feed have escape sequences
+// (`\\`, `\"`, `\n`); every other byte — tabs, control characters,
+// non-ASCII UTF-8 — passes through verbatim. This deliberately differs
+// from Go's %q, which would emit \t and \uXXXX sequences Prometheus
+// parsers read literally.
+var promEscapeValue = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// LabelString renders the labels as `{k="v",...}` (empty for none), with
+// values escaped for the Prometheus text exposition format.
 func (m Metric) LabelString() string {
 	if len(m.Labels) == 0 {
 		return ""
 	}
 	parts := make([]string, len(m.Labels))
 	for i, kv := range m.Labels {
-		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
+		parts[i] = fmt.Sprintf(`%s="%s"`, kv[0], promEscapeValue.Replace(kv[1]))
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -66,12 +81,18 @@ func pairLabels(labels []string) [][2]string {
 	return out
 }
 
-func (r *Registry) metric(name string, kind MetricKind, labels []string) *Metric {
-	pairs := pairLabels(labels)
+// metricKey builds the registry map key of a name + sorted label set.
+func metricKey(name string, pairs [][2]string) string {
 	key := name
 	for _, kv := range pairs {
 		key += "\x00" + kv[0] + "\x01" + kv[1]
 	}
+	return key
+}
+
+func (r *Registry) metric(name string, kind MetricKind, labels []string) *Metric {
+	pairs := pairLabels(labels)
+	key := metricKey(name, pairs)
 	m, ok := r.metrics[key]
 	if !ok {
 		m = &Metric{Name: name, Labels: pairs, Kind: kind}
@@ -97,16 +118,15 @@ func (r *Registry) Set(name string, v float64, labels ...string) {
 	m.Value = v
 }
 
-// Value returns the current value of a metric (0 if absent).
+// Value returns the current value of a counter or gauge. It is a strictly
+// non-mutating read: a metric that was never recorded reports 0 and is NOT
+// created — Snapshot and the Prometheus dump are unaffected by reads of
+// absent names. (Histograms report 0 here; read them via Quantile or
+// Snapshot.)
 func (r *Registry) Value(name string, labels ...string) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	pairs := pairLabels(labels)
-	key := name
-	for _, kv := range pairs {
-		key += "\x00" + kv[0] + "\x01" + kv[1]
-	}
-	if m, ok := r.metrics[key]; ok {
+	if m, ok := r.metrics[metricKey(name, pairLabels(labels))]; ok {
 		return m.Value
 	}
 	return 0
@@ -121,6 +141,9 @@ func (r *Registry) Snapshot() []Metric {
 	for _, m := range r.metrics {
 		cp := *m
 		cp.Labels = append([][2]string(nil), m.Labels...)
+		if m.Hist != nil {
+			cp.Hist = m.Hist.clone()
+		}
 		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool {

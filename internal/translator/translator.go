@@ -65,6 +65,10 @@ type Options struct {
 	// Metrics, when non-nil, counts rule firings
 	// (ysmart_translator_rule_firings_total{rule=...}).
 	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured JSON event per
+	// plan-merge decision (rules fired and merges blocked), so translation
+	// choices are greppable alongside the engine's job lifecycle stream.
+	Logger *obs.Logger
 }
 
 // Translation is a query compiled to an executable MapReduce job chain.
@@ -158,7 +162,7 @@ func TranslateAnalyzed(a *correlation.Analysis, mode Mode, opts Options) (*Trans
 		return lw.lowerSPQuery()
 	}
 
-	jobs := buildJobs(a, mode, opts.Tracer, opts.Metrics)
+	jobs := buildJobs(a, mode, opts.Tracer, opts.Metrics, opts.Logger)
 	return lw.lowerJobs(jobs)
 }
 
@@ -194,17 +198,21 @@ type grouping struct {
 
 	tracer  obs.Tracer
 	metrics *obs.Registry
+	logger  *obs.Logger
 }
 
-// fireRule records one merging-rule application (or block) on the tracer
-// and registry. Rule events carry correlation provenance: which rule fired,
-// the operations it merged, and the shared partition key.
+// fireRule records one merging-rule application (or block) on the tracer,
+// registry and event log. Rule events carry correlation provenance: which
+// rule fired, the operations it merged, and the shared partition key.
 func (g *grouping) fireRule(rule string, args ...obs.Field) {
 	if g.tracer.Enabled() {
 		g.tracer.Emit(obs.InstantEvent("translator", rule, "translator", 0, args...))
 	}
 	if g.metrics != nil {
 		g.metrics.Add("ysmart_translator_rule_firings_total", 1, "rule", rule)
+	}
+	if g.logger.Enabled(obs.LevelInfo) {
+		g.logger.Info("plan.merge", append([]obs.Field{obs.F("decision", rule)}, args...)...)
 	}
 }
 
@@ -219,11 +227,11 @@ func opNames(jb *jobBuild) string {
 
 // buildJobs produces the job grouping for a mode: per-op jobs, then Rule 1
 // (step one) for ICTCOnly and YSmart, then Rules 2-4 (step two) for YSmart.
-func buildJobs(a *correlation.Analysis, mode Mode, tracer obs.Tracer, metrics *obs.Registry) *grouping {
+func buildJobs(a *correlation.Analysis, mode Mode, tracer obs.Tracer, metrics *obs.Registry, logger *obs.Logger) *grouping {
 	if tracer == nil {
 		tracer = obs.Nop
 	}
-	g := &grouping{a: a, jobOf: make(map[*correlation.Operation]*jobBuild), tracer: tracer, metrics: metrics}
+	g := &grouping{a: a, jobOf: make(map[*correlation.Operation]*jobBuild), tracer: tracer, metrics: metrics, logger: logger}
 	for _, op := range a.Ops {
 		jb := &jobBuild{ops: []*correlation.Operation{op}, pk: a.PK(op)}
 		g.jobs = append(g.jobs, jb)

@@ -76,8 +76,22 @@ type (
 	TraceEvent = obs.Event
 	// Collector is an in-memory Tracer recording events in emission order.
 	Collector = obs.Collector
-	// Registry accumulates named counters and gauges.
+	// Registry accumulates named counters, gauges and latency/byte/row
+	// histograms (Observe/Quantile).
 	Registry = obs.Registry
+	// Logger is the leveled structured JSON event logger (one event per
+	// line, deterministic field order).
+	Logger = obs.Logger
+	// LogLevel orders log events by severity.
+	LogLevel = obs.Level
+)
+
+// Log levels for NewLogger.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
 )
 
 // Value type constants and constructors.
@@ -251,6 +265,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	tracer  obs.Tracer
 	metrics *obs.Registry
+	logger  *obs.Logger
 }
 
 // WithTracer attaches a tracer to the run: the engine emits job/phase/wave
@@ -258,9 +273,15 @@ type runConfig struct {
 // results and stats are unchanged.
 func WithTracer(t Tracer) RunOption { return func(c *runConfig) { c.tracer = t } }
 
-// WithMetrics attaches a registry accumulating engine, DFS and CMF counters
-// across the run.
+// WithMetrics attaches a registry accumulating engine, DFS and CMF
+// counters, gauges and distribution histograms (job phase durations,
+// shuffle bytes, rows emitted, chain latency) across the run.
 func WithMetrics(r *Registry) RunOption { return func(c *runConfig) { c.metrics = r } }
+
+// WithLogger attaches a structured event logger to the run: the engine
+// logs chain and job lifecycle, retries, recomputes and node failures as
+// one JSON event per line on the simulated clock.
+func WithLogger(l *Logger) RunOption { return func(c *runConfig) { c.logger = l } }
 
 // Run executes a translation and reads back its result.
 func (r *Runtime) Run(t *Translation, opts ...RunOption) (*Result, error) {
@@ -271,6 +292,10 @@ func (r *Runtime) Run(t *Translation, opts ...RunOption) (*Result, error) {
 	if cfg.tracer != nil || cfg.metrics != nil {
 		r.engine.Instrument(cfg.tracer, cfg.metrics)
 		defer r.engine.Instrument(nil, nil)
+	}
+	if cfg.logger != nil {
+		r.engine.SetLogger(cfg.logger)
+		defer r.engine.SetLogger(nil)
 	}
 	stats, err := r.engine.RunChain(t.Jobs)
 	if err != nil {
@@ -292,6 +317,13 @@ func NewCollector() *Collector { return obs.NewCollector() }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewLogger returns a structured JSON event logger writing events at or
+// above min to w. A nil *Logger is a valid no-op receiver.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }
+
+// ParseLogLevel maps "debug", "info", "warn" or "error" to its LogLevel.
+func ParseLogLevel(name string) (LogLevel, bool) { return obs.ParseLevel(name) }
 
 // ChromeTrace renders collected events as Chrome trace-event JSON, loadable
 // in Perfetto (ui.perfetto.dev) or chrome://tracing.
