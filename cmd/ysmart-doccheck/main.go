@@ -6,7 +6,9 @@
 //   - a Go package lacks a package-level doc comment;
 //   - an exported identifier in the packages listed in strictPkgs
 //     (the engine-facing surface: internal/mapreduce, internal/cmf) lacks
-//     a doc comment.
+//     a doc comment;
+//   - a CLI flag registered in any cmd/* binary is mentioned in neither
+//     README.md nor docs/OPERATIONS.md (flag-doc drift).
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -72,6 +75,11 @@ func check(root string) ([]string, error) {
 		}
 		findings = append(findings, fs...)
 	}
+	fs, err := checkFlagDocs(root, goDirs)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, fs...)
 	sort.Strings(findings)
 	return findings, nil
 }
@@ -149,6 +157,121 @@ func checkLinks(root, path string) ([]string, error) {
 		}
 	}
 	return findings, nil
+}
+
+// flagDocSources lists the files where every CLI flag must be mentioned.
+var flagDocSources = []string{"README.md", "docs/OPERATIONS.md"}
+
+// flagFuncs names the flag-registration methods whose first string literal
+// argument is the flag name (the *Var forms carry it second).
+var flagFuncs = map[string]bool{
+	"Bool": true, "Duration": true, "Float64": true,
+	"Int": true, "Int64": true, "String": true, "Uint": true, "Uint64": true,
+}
+
+// checkFlagDocs is the flag-doc drift gate: every flag registered by a
+// cmd/* binary (fs.String, flag.Bool, ... calls with a literal name) must be
+// mentioned as -name in one of flagDocSources. Binaries grow flags faster
+// than handbooks grow sections; this keeps the operator docs honest.
+func checkFlagDocs(root string, goDirs []string) ([]string, error) {
+	flags := map[string][]string{} // flag name -> commands registering it
+	var cmds []string
+	for _, dir := range goDirs {
+		if !strings.HasPrefix(dir, "cmd/") && !strings.HasPrefix(dir, "cmd"+string(os.PathSeparator)) {
+			continue
+		}
+		names, err := commandFlags(filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		cmd := filepath.Base(dir)
+		cmds = append(cmds, cmd)
+		for _, name := range names {
+			flags[name] = append(flags[name], cmd)
+		}
+	}
+	if len(flags) == 0 {
+		return nil, nil
+	}
+
+	var corpus strings.Builder
+	var findings []string
+	for _, src := range flagDocSources {
+		data, err := os.ReadFile(filepath.Join(root, src))
+		if err != nil {
+			findings = append(findings,
+				fmt.Sprintf("%s: missing (commands %s register flags that must be documented here)",
+					src, strings.Join(cmds, ", ")))
+			continue
+		}
+		corpus.Write(data)
+		corpus.WriteByte('\n')
+	}
+	text := corpus.String()
+	for name, owners := range flags {
+		// A mention is "-name" not embedded in a longer flag or word.
+		re := regexp.MustCompile(`[^\w-]-` + regexp.QuoteMeta(name) + `([^\w-]|$)`)
+		if !re.MatchString(text) {
+			sort.Strings(owners)
+			findings = append(findings,
+				fmt.Sprintf("cmd flag -%s (%s) is mentioned in neither %s",
+					name, strings.Join(owners, ", "), strings.Join(flagDocSources, " nor ")))
+		}
+	}
+	return findings, nil
+}
+
+// commandFlags parses one command directory and returns the flag names it
+// registers through the standard flag API.
+func commandFlags(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if _, ok := sel.X.(*ast.Ident); !ok {
+					return true // flag registrations hang off flag or a FlagSet variable
+				}
+				fn := sel.Sel.Name
+				arg := 0
+				if strings.HasSuffix(fn, "Var") {
+					fn = strings.TrimSuffix(fn, "Var")
+					arg = 1
+				}
+				if !flagFuncs[fn] || len(call.Args) <= arg {
+					return true
+				}
+				lit, ok := call.Args[arg].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || name == "" || seen[name] {
+					return true
+				}
+				seen[name] = true
+				names = append(names, name)
+				return true
+			})
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // checkGoDocs parses one package directory. Every package needs a

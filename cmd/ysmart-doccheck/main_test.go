@@ -143,3 +143,91 @@ func TestTestFilesAreIgnored(t *testing.T) {
 		t.Errorf("test files produced findings: %v", findings)
 	}
 }
+
+func TestFlagDocDrift(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "cmd/tool/main.go", `// Command tool tests the flag gate.
+package main
+
+import "flag"
+
+func main() {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.String("documented", "", "usage")
+	fs.Int("undocumented", 0, "usage")
+	var v bool
+	fs.BoolVar(&v, "var-form", false, "usage")
+}
+`)
+	write(t, dir, "README.md", "Run with -documented <value>.\n")
+	write(t, dir, "docs/OPERATIONS.md", "The -var-form switch.\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagFindings []string
+	for _, f := range findings {
+		if strings.Contains(f, "cmd flag") {
+			flagFindings = append(flagFindings, f)
+		}
+	}
+	if len(flagFindings) != 1 || !strings.Contains(flagFindings[0], "-undocumented (tool)") {
+		t.Errorf("flag findings = %v, want exactly -undocumented", flagFindings)
+	}
+}
+
+func TestFlagDocMentionBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "cmd/tool/main.go", `// Command tool tests mention matching.
+package main
+
+import "flag"
+
+func main() {
+	flag.String("log", "", "usage")
+}
+`)
+	// "-log-level" must NOT count as a mention of -log.
+	write(t, dir, "README.md", "Only -log-level is described here.\n")
+	write(t, dir, "docs/OPERATIONS.md", "Nothing.\n")
+
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f, "cmd flag -log ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("embedded mention satisfied the gate: %v", findings)
+	}
+}
+
+func TestFlagDocMissingSources(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "cmd/tool/main.go", `// Command tool registers a flag.
+package main
+
+import "flag"
+
+func main() { flag.Bool("x", false, "usage") }
+`)
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing int
+	for _, f := range findings {
+		if strings.Contains(f, "register flags that must be documented here") {
+			missing++
+		}
+	}
+	if missing != 2 {
+		t.Errorf("missing-source findings = %d, want 2 (README.md and docs/OPERATIONS.md):\n%s",
+			missing, strings.Join(findings, "\n"))
+	}
+}

@@ -1,24 +1,31 @@
-// Command ysmart-loadgen replays a stream of workload queries against the
-// simulated cluster at N concurrent clients and reports sustained QPS plus
-// wall-clock latency quantiles (p50/p90/p99) read back from the shared
-// observability registry's latency histograms.
+// Command ysmart-loadgen replays a stream of workload queries at N
+// concurrent clients and reports sustained QPS plus wall-clock latency
+// quantiles (p50/p90/p99) read back from the shared observability
+// registry's latency histograms.
 //
-// Each client owns a private Runtime (the engine is single-chain), while
-// all clients record into one obs.Registry, so the admin HTTP plane serves
-// a live, merged view of the run:
+// It has two modes. In-process (the default), each client owns a private
+// Runtime (the engine is single-chain) and latency is parse-free query
+// execution (translate + simulated run). In wire mode (-server), each
+// client dials a running ysmart-server over the PostgreSQL wire protocol
+// and latency is true end-to-end: protocol round trip, plan cache,
+// admission queueing, execution, result streaming.
 //
 //	ysmart-loadgen -clients 4 -requests 64                 # quick local run
 //	ysmart-loadgen -requests 200 -listen 127.0.0.1:8080    # live /metrics, /jobs
 //	ysmart-loadgen -requests 20 -json - -log events.jsonl  # bench rows + event log
 //	ysmart-loadgen -requests 10 -listen 127.0.0.1:0 -selfcheck   # CI smoke
+//	ysmart-loadgen -server 127.0.0.1:5433 -clients 8 -requests 200   # drive a server
+//	ysmart-loadgen -server 127.0.0.1:5433 -requests 20 -selfcheck    # + oracle check
 //
-// Latency here is host wall-clock time of parse-free query execution
-// (translate + simulated run), not simulated seconds; simulated job times
-// still land in the registry via the engine's own histograms.
+// In either mode all clients record into one obs.Registry, so the admin
+// HTTP plane serves a live, merged view of the run. Wire-mode -selfcheck
+// additionally replays every query through the single-node DBMS oracle and
+// fails unless the server's rows match exactly.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +41,7 @@ import (
 	"ysmart/internal/experiments"
 	"ysmart/internal/obs"
 	"ysmart/internal/obs/httpserve"
+	"ysmart/internal/server"
 )
 
 func main() {
@@ -49,6 +57,7 @@ type clientStatus struct {
 	Query       string  `json:"query"`
 	Done        int     `json:"done"`
 	LastSeconds float64 `json:"last_seconds"`
+	LastRows    int     `json:"last_rows,omitempty"` // wire mode: rows in the last result
 }
 
 // queryTotals accumulates per-query aggregates outside the registry (the
@@ -65,16 +74,17 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ysmart-loadgen", flag.ContinueOnError)
 	var (
 		queryList = fs.String("queries", "Q17,Q18,Q21,Q-CSA,Q-AGG", "comma-separated workload query names to replay round-robin")
-		clients   = fs.Int("clients", 4, "concurrent clients, each with a private runtime")
+		clients   = fs.Int("clients", 4, "concurrent clients, each with a private runtime (or wire connection with -server)")
 		requests  = fs.Int("requests", 32, "total requests across all clients")
-		modeName  = fs.String("mode", "ysmart", "translation mode: ysmart, one-to-one, pig-like, ic-tc-only")
-		clusterN  = fs.String("cluster", "small", "cluster model: small, ec2-11, ec2-101, facebook")
-		workers   = fs.Int("workers", 0, "goroutines per engine (0 = NumCPU)")
+		serverTo  = fs.String("server", "", "drive a running ysmart-server at this host:port over the wire protocol instead of running in-process")
+		modeName  = fs.String("mode", "ysmart", "translation mode: ysmart, one-to-one, pig-like, ic-tc-only (in-process only)")
+		clusterN  = fs.String("cluster", "small", "cluster model: small, ec2-11, ec2-101, facebook (in-process only)")
+		workers   = fs.Int("workers", 0, "goroutines per engine (0 = NumCPU; in-process only)")
 		listen    = fs.String("listen", "", "serve the admin HTTP plane (/metrics, /jobs, /debug/pprof) on this address during the run")
 		jsonTo    = fs.String("json", "", "write bench-JSON rows to <file> (- for stdout)")
 		logTo     = fs.String("log", "", "write the structured JSON event stream to <file> (- for stderr)")
 		logLevel  = fs.String("log-level", "info", "minimum event level: debug, info, warn, error")
-		selfcheck = fs.Bool("selfcheck", false, "probe the admin endpoints over HTTP after the run and fail unless they return 200; requires -listen")
+		selfcheck = fs.Bool("selfcheck", false, "after the run, probe the admin endpoints (requires -listen) and, with -server, replay every query through the DBMS oracle and fail on any row mismatch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,8 +92,8 @@ func run(args []string, stdout io.Writer) error {
 	if *clients < 1 || *requests < 1 {
 		return fmt.Errorf("-clients and -requests must be at least 1")
 	}
-	if *selfcheck && *listen == "" {
-		return fmt.Errorf("-selfcheck requires -listen")
+	if *selfcheck && *listen == "" && *serverTo == "" {
+		return fmt.Errorf("-selfcheck requires -listen or -server")
 	}
 	mode, err := parseMode(*modeName)
 	if err != nil {
@@ -151,13 +161,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// Generate the workload data once; runtimes share the immutable rows.
-	tpch, err := ysmart.GenerateTPCH(ysmart.DefaultTPCH())
-	if err != nil {
-		return err
-	}
-	clicks, err := ysmart.GenerateClicks(ysmart.DefaultClicks())
-	if err != nil {
-		return err
+	// Wire mode only needs it for the oracle selfcheck: the server owns
+	// the served data.
+	var tpch, clicks map[string][]ysmart.Row
+	if *serverTo == "" || *selfcheck {
+		if tpch, err = ysmart.GenerateTPCH(ysmart.DefaultTPCH()); err != nil {
+			return err
+		}
+		if clicks, err = ysmart.GenerateClicks(ysmart.DefaultClicks()); err != nil {
+			return err
+		}
 	}
 
 	totals := make(map[string]*queryTotals, len(names))
@@ -169,12 +182,75 @@ func run(args []string, stdout io.Writer) error {
 	var next int64 // atomically claimed global request index
 	var firstErr error
 	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// wireClient is one wire-mode client: a persistent connection replaying
+	// queries against a running ysmart-server. Latency covers the full
+	// round trip (protocol, plan cache, admission queue, execution, result
+	// streaming). A server-side query error keeps the connection (the
+	// protocol resyncs on ReadyForQuery); a transport error ends the client.
+	wireClient := func(client int) {
+		cli, err := server.Dial(*serverTo, "loadgen", "ysmart", 30*time.Second)
+		if err != nil {
+			fail(fmt.Errorf("client %d: dial %s: %w", client, *serverTo, err))
+			return
+		}
+		defer cli.Close()
+		for {
+			idx := atomic.AddInt64(&next, 1) - 1
+			if idx >= int64(*requests) {
+				return
+			}
+			name := names[idx%int64(len(names))]
+			statusMu.Lock()
+			status[client].Query = name
+			statusMu.Unlock()
+
+			start := time.Now()
+			res, err := cli.Query(workload[name])
+			lat := time.Since(start).Seconds()
+			if err != nil {
+				reg.Add("ysmart_loadgen_errors_total", 1, "query", name)
+				if logger.Enabled(ysmart.LogError) {
+					logger.Error("loadgen.error", obs.F("query", name), obs.F("error", err.Error()))
+				}
+				fail(fmt.Errorf("%s: %w", name, err))
+				var srvErr *server.ServerError
+				if !errors.As(err, &srvErr) {
+					return // transport error: this connection is gone
+				}
+				continue
+			}
+			reg.Observe("ysmart_query_latency_seconds", lat)
+			reg.Observe("ysmart_query_latency_seconds", lat, "query", name)
+			reg.Add("ysmart_loadgen_requests_total", 1, "query", name)
+			totalsMu.Lock()
+			totals[name].requests++
+			totalsMu.Unlock()
+			statusMu.Lock()
+			status[client].Done++
+			status[client].LastSeconds = lat
+			status[client].LastRows = len(res.Rows)
+			statusMu.Unlock()
+		}
+	}
+
 	var wg sync.WaitGroup
 	wallStart := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
+			if *serverTo != "" {
+				wireClient(client)
+				return
+			}
 			// A fresh cluster model per client: engines must not
 			// share mutable model state.
 			cluster, _ := parseCluster(*clusterN)
@@ -275,7 +351,11 @@ func run(args []string, stdout io.Writer) error {
 		return firstErr
 	}
 
-	rows := benchRows(reg, totals, names, *modeName, *clients, *workers, *requests, elapsed)
+	system := *modeName
+	if *serverTo != "" {
+		system = "server" // the server chose its own mode; rows measure the wire path
+	}
+	rows := benchRows(reg, totals, names, system, *clients, *workers, *requests, elapsed)
 	printReport(stdout, rows, *requests, elapsed)
 
 	if *jsonTo != "" {
@@ -293,10 +373,85 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *selfcheck {
-		if err := probeAdmin(baseURL); err != nil {
-			return fmt.Errorf("selfcheck: %w", err)
+		if *serverTo != "" {
+			tables := make(map[string][]ysmart.Row, len(tpch)+len(clicks))
+			for n, t := range tpch {
+				tables[n] = t
+			}
+			for n, t := range clicks {
+				tables[n] = t
+			}
+			if err := wireOracleCheck(*serverTo, names, workload, tables); err != nil {
+				return fmt.Errorf("selfcheck: %w", err)
+			}
+			fmt.Fprintf(stdout, "selfcheck: server rows match the DBMS oracle for %s\n", strings.Join(names, ", "))
 		}
-		fmt.Fprintln(stdout, "selfcheck: all admin endpoints healthy")
+		if baseURL != "" {
+			if err := probeAdmin(baseURL); err != nil {
+				return fmt.Errorf("selfcheck: %w", err)
+			}
+			fmt.Fprintln(stdout, "selfcheck: all admin endpoints healthy")
+		}
+	}
+	return nil
+}
+
+// wireOracleCheck replays each query over the wire on a fresh connection and
+// compares the result rows — rendered in the server's own text format and
+// sorted — against the single-node DBMS oracle run on an identical locally
+// generated data set. Any difference in row content or count fails.
+func wireOracleCheck(addr string, names []string, workload map[string]string, tables map[string][]ysmart.Row) error {
+	cli, err := server.Dial(addr, "selfcheck", "ysmart", 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer cli.Close()
+	for _, name := range names {
+		sql := workload[name]
+		res, err := cli.Query(sql)
+		if err != nil {
+			return fmt.Errorf("%s over the wire: %w", name, err)
+		}
+		got := make([]string, len(res.Rows))
+		for i, row := range res.Rows {
+			cells := make([]string, len(row))
+			for j, c := range row {
+				if c == nil {
+					cells[j] = "NULL"
+				} else {
+					cells[j] = *c
+				}
+			}
+			got[i] = strings.Join(cells, "\t")
+		}
+		sort.Strings(got)
+
+		q, err := ysmart.Parse(sql, ysmart.WorkloadCatalog())
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		oracleRows, err := ysmart.OracleResult(q, ysmart.WorkloadCatalog(), tables)
+		if err != nil {
+			return fmt.Errorf("%s oracle: %w", name, err)
+		}
+		want := make([]string, len(oracleRows))
+		for i, row := range oracleRows {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = server.TextValue(v)
+			}
+			want[i] = strings.Join(cells, "\t")
+		}
+		sort.Strings(want)
+
+		if len(got) != len(want) {
+			return fmt.Errorf("%s: server returned %d rows, oracle %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("%s: row %d differs\n  server: %s\n  oracle: %s", name, i, got[i], want[i])
+			}
+		}
 	}
 	return nil
 }

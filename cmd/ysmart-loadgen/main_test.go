@@ -7,7 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
+	"ysmart"
 	"ysmart/internal/experiments"
+	"ysmart/internal/server"
 )
 
 // TestLoadgenEndToEnd replays a short stream with the admin plane up and
@@ -107,5 +111,96 @@ func TestLoadgenFlagErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestLoadgenWireMode boots a real server, drives it over the wire protocol
+// and checks the bench rows plus the oracle selfcheck.
+func TestLoadgenWireMode(t *testing.T) {
+	tpch, err := ysmart.GenerateTPCH(ysmart.DefaultTPCH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks, err := ysmart.GenerateClicks(ysmart.DefaultClicks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := make(map[string][]ysmart.Row, len(tpch)+len(clicks))
+	for n, rows := range tpch {
+		tables[n] = rows
+	}
+	for n, rows := range clicks {
+		tables[n] = rows
+	}
+	srv, err := server.New(server.Config{
+		Catalog:     ysmart.WorkloadCatalog(),
+		Cluster:     func() *ysmart.Cluster { return ysmart.SmallCluster() },
+		MaxInflight: 2,
+		MaxQueued:   32,
+		CacheSize:   16,
+	}, server.EncodeTables(tables))
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Shutdown(10 * time.Second)
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "rows.json")
+	var out strings.Builder
+	err = run([]string{
+		"-server", addr,
+		"-queries", "Q-AGG,Q-CSA",
+		"-clients", "2",
+		"-requests", "6",
+		"-selfcheck",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "selfcheck: server rows match the DBMS oracle") {
+		t.Errorf("oracle selfcheck line missing:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read bench rows: %v", err)
+	}
+	var rows []experiments.BenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("bench rows not valid JSON: %v", err)
+	}
+	if len(rows) != 3 { // Q-AGG, Q-CSA, all
+		t.Fatalf("got %d rows, want 3: %s", len(rows), data)
+	}
+	for _, r := range rows {
+		if r.System != "server" {
+			t.Errorf("row %s: system = %q, want server", r.Query, r.System)
+		}
+		if r.P50 <= 0 || r.P99 <= 0 || r.QPS <= 0 {
+			t.Errorf("row %s: p50/p99/qps must be positive: %+v", r.Query, r)
+		}
+	}
+
+	// The run plus the selfcheck replay hit the shared plan cache.
+	_, hits, misses, _ := srv.Cache().Stats()
+	if misses != 2 {
+		t.Errorf("cache misses = %v, want 2 (one per distinct query)", misses)
+	}
+	if hits < 6 {
+		t.Errorf("cache hits = %v, want >= 6", hits)
+	}
+}
+
+// TestLoadgenWireModeDialError checks a dead server address fails fast.
+func TestLoadgenWireModeDialError(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-server", "127.0.0.1:1", "-requests", "2"}, &out)
+	if err == nil {
+		t.Fatal("run against a dead address succeeded")
 	}
 }

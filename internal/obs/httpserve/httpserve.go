@@ -70,6 +70,27 @@ func (s *Server) SetJobs(jobs JobsFunc) {
 	s.jobs = jobs
 }
 
+// Handle registers an extra endpoint on the admin mux (e.g. the SQL
+// server's /sessions). It must be called before Start; the path appears in
+// the root index only if the host adds it there itself.
+func (s *Server) Handle(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, h)
+}
+
+// JSONHandler adapts a snapshot callback into an endpoint serving its
+// result as indented JSON — the same shape /jobs uses, for hosts exposing
+// additional live views (sessions, cache stats).
+func JSONHandler(snapshot func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
 // Handler returns the server's routing handler, for tests and for embedding
 // into an existing http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }

@@ -176,3 +176,39 @@ func TestConcurrentRecordersAndScrapes(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestHandleAndJSONHandler(t *testing.T) {
+	s := New(nil, nil, nil)
+	type sess struct {
+		ID   int    `json:"id"`
+		User string `json:"user"`
+	}
+	s.Handle("/sessions", JSONHandler(func() any {
+		return []sess{{ID: 1, User: "alice"}}
+	}))
+
+	code, body := get(t, s.Handler(), "/sessions")
+	if code != http.StatusOK {
+		t.Fatalf("/sessions status = %d", code)
+	}
+	var got []sess
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/sessions not valid JSON: %v\n%s", err, body)
+	}
+	if len(got) != 1 || got[0].User != "alice" {
+		t.Fatalf("/sessions = %+v", got)
+	}
+	if !strings.Contains(body, "\n  ") {
+		t.Errorf("/sessions not indented like /jobs:\n%s", body)
+	}
+}
+
+func TestJSONHandlerMarshalError(t *testing.T) {
+	h := JSONHandler(func() any { return func() {} }) // funcs cannot marshal
+	req := httptest.NewRequest("GET", "/broken", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("marshal failure status = %d, want 500", rec.Code)
+	}
+}

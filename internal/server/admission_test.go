@@ -1,0 +1,185 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ysmart/internal/obs"
+)
+
+func TestAdmissionFastPathAndQueueFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(2, 0, reg)
+
+	r1, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	r2, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	if _, err := a.Acquire(time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire with zero queue: err = %v, want ErrQueueFull", err)
+	}
+	if got := reg.Value("ysmart_server_admission_rejected_total", "reason", "queue_full"); got != 1 {
+		t.Fatalf("queue_full rejections = %v, want 1", got)
+	}
+
+	r1()
+	r1() // release is idempotent
+	if got := a.Inflight(); got != 1 {
+		t.Fatalf("inflight after release = %d, want 1", got)
+	}
+	r3, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight after all releases = %d, want 0", got)
+	}
+}
+
+// TestAdmissionFIFOOrder queues waiters one at a time behind a held slot and
+// checks they are granted in arrival order as the slot hands over.
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a := NewAdmission(1, 16, nil)
+	hold, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+
+	const waiters = 5
+	granted := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := a.Acquire(time.Time{})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			granted <- i
+			release()
+		}(i)
+		// Wait until this waiter is queued before starting the next, so
+		// arrival order is deterministic.
+		for a.QueueDepth() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	hold()
+	wg.Wait()
+	close(granted)
+	want := 0
+	for got := range granted {
+		if got != want {
+			t.Fatalf("grant order: got waiter %d at position %d", got, want)
+		}
+		want++
+	}
+	if a.Inflight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("controller not idle: inflight=%d queued=%d", a.Inflight(), a.QueueDepth())
+	}
+}
+
+func TestAdmissionTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(1, 16, reg)
+	hold, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+	if _, err := a.Acquire(time.Now().Add(20 * time.Millisecond)); !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("queued acquire past deadline: err = %v, want ErrQueryTimeout", err)
+	}
+	if got := a.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth after timeout = %d, want 0 (waiter must be unqueued)", got)
+	}
+	if got := reg.Value("ysmart_server_admission_rejected_total", "reason", "timeout"); got != 1 {
+		t.Fatalf("timeout rejections = %v, want 1", got)
+	}
+	hold()
+	// The timed-out waiter must not have consumed the slot.
+	release, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("acquire after timeout cycle: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(1, 16, reg)
+	hold, err := a.Acquire(time.Time{})
+	if err != nil {
+		t.Fatalf("hold acquire: %v", err)
+	}
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(time.Time{})
+		queuedErr <- err
+	}()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain with a held slot times out; the queued waiter is rejected
+	// immediately either way.
+	if a.Drain(30 * time.Millisecond) {
+		t.Fatal("drain reported idle while a query was in flight")
+	}
+	if err := <-queuedErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter during drain: err = %v, want ErrDraining", err)
+	}
+	if _, err := a.Acquire(time.Time{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire during drain: err = %v, want ErrDraining", err)
+	}
+
+	// Releasing the last slot lets a second Drain reach idle.
+	hold()
+	if !a.Drain(time.Second) {
+		t.Fatal("drain after final release did not reach idle")
+	}
+	if got := reg.Value("ysmart_server_admission_rejected_total", "reason", "draining"); got != 2 {
+		t.Fatalf("draining rejections = %v, want 2", got)
+	}
+}
+
+// TestAdmissionSlotTransfer checks a released slot hands directly to the
+// queue head without the inflight count dipping.
+func TestAdmissionSlotTransfer(t *testing.T) {
+	a := NewAdmission(1, 1, nil)
+	hold, _ := a.Acquire(time.Time{})
+	got := make(chan func(), 1)
+	go func() {
+		release, err := a.Acquire(time.Time{})
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		}
+		got <- release
+	}()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	hold()
+	release := <-got
+	if n := a.Inflight(); n != 1 {
+		t.Fatalf("inflight after transfer = %d, want 1", n)
+	}
+	release()
+	if n := a.Inflight(); n != 0 {
+		t.Fatalf("inflight after release = %d, want 0", n)
+	}
+}

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ysmart/internal/obs"
+	"ysmart/internal/queries"
+	"ysmart/internal/translator"
+)
+
+func newTestCache(capacity int, reg *obs.Registry) *PlanCache {
+	return NewPlanCache(capacity, translator.YSmart, queries.Catalog(), reg)
+}
+
+func TestPlanCacheHitOnNormalizedVariants(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCache(8, reg)
+
+	p1, err := c.Get(queries.QAGG)
+	if err != nil {
+		t.Fatalf("first get: %v", err)
+	}
+	if p1.Hit {
+		t.Fatal("first get reported a hit on an empty cache")
+	}
+	p1.Release()
+
+	// Same query, different whitespace, identifier case and a trailing
+	// semicolon: must normalize to the same cache entry.
+	variant := strings.ToUpper(strings.Join(strings.Fields(queries.QAGG), "  ")) + " ;"
+	p2, err := c.Get(variant)
+	if err != nil {
+		t.Fatalf("variant get: %v", err)
+	}
+	if !p2.Hit {
+		t.Fatalf("variant %q missed the cache", variant)
+	}
+	if p2.Normalized != p1.Normalized {
+		t.Fatalf("normalized forms differ: %q vs %q", p2.Normalized, p1.Normalized)
+	}
+	p2.Release()
+
+	entries, hits, misses, evictions := c.Stats()
+	if entries != 1 || hits != 1 || misses != 1 || evictions != 0 {
+		t.Fatalf("stats = entries %d, hits %v, misses %v, evictions %v; want 1, 1, 1, 0",
+			entries, hits, misses, evictions)
+	}
+}
+
+func TestPlanCacheRejectsBadSQL(t *testing.T) {
+	c := newTestCache(4, nil)
+	if _, err := c.Get("   "); err == nil {
+		t.Fatal("empty statement did not error")
+	}
+	if _, err := c.Get("SELECT FROM WHERE"); err == nil {
+		t.Fatal("unparsable statement did not error")
+	}
+	if entries, _, _, _ := c.Stats(); entries != 0 {
+		t.Fatalf("failed gets left %d entries in the cache", entries)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCache(2, reg)
+	q := queries.Named()
+
+	for _, name := range []string{"Q-AGG", "Q-CSA"} {
+		p, err := c.Get(q[name])
+		if err != nil {
+			t.Fatalf("get %s: %v", name, err)
+		}
+		p.Release()
+	}
+	// Touch Q-AGG so Q-CSA is the LRU victim when Q17 arrives.
+	p, err := c.Get(q["Q-AGG"])
+	if err != nil {
+		t.Fatalf("touch Q-AGG: %v", err)
+	}
+	p.Release()
+	p, err = c.Get(q["Q17"])
+	if err != nil {
+		t.Fatalf("get Q17: %v", err)
+	}
+	p.Release()
+
+	entries, _, _, evictions := c.Stats()
+	if entries != 2 || evictions != 1 {
+		t.Fatalf("after overflow: entries %d evictions %v, want 2 and 1", entries, evictions)
+	}
+	p, err = c.Get(q["Q-AGG"])
+	if err != nil {
+		t.Fatalf("re-get Q-AGG: %v", err)
+	}
+	if !p.Hit {
+		t.Fatal("recently touched Q-AGG was evicted; LRU order is wrong")
+	}
+	p.Release()
+	p, err = c.Get(q["Q-CSA"])
+	if err != nil {
+		t.Fatalf("re-get Q-CSA: %v", err)
+	}
+	if p.Hit {
+		t.Fatal("Q-CSA should have been the eviction victim")
+	}
+	p.Release()
+}
+
+// TestPlanCacheLeasing checks that concurrent leases of one entry never share
+// a translation, and that released translations are pooled for reuse.
+func TestPlanCacheLeasing(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCache(4, reg)
+
+	p1, err := c.Get(queries.QAGG)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	p2, err := c.Get(queries.QAGG) // pool empty: must re-lower, not share
+	if err != nil {
+		t.Fatalf("second get: %v", err)
+	}
+	if p1.Translation == p2.Translation {
+		t.Fatal("two live leases share one translation")
+	}
+	if got := reg.Value("ysmart_server_plancache_retranslations_total"); got != 1 {
+		t.Fatalf("retranslations = %v, want 1", got)
+	}
+
+	p1.Release()
+	p2.Release()
+	p3, err := c.Get(queries.QAGG)
+	if err != nil {
+		t.Fatalf("third get: %v", err)
+	}
+	if p3.Translation != p1.Translation && p3.Translation != p2.Translation {
+		t.Fatal("released translation was not pooled for reuse")
+	}
+	if got := reg.Value("ysmart_server_plancache_retranslations_total"); got != 1 {
+		t.Fatalf("pooled lease re-lowered anyway: retranslations = %v", got)
+	}
+	p3.Release()
+}
+
+// TestPlanCacheConcurrent hammers one cache from many goroutines (run under
+// -race) and checks the counters balance.
+func TestPlanCacheConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCache(8, reg)
+	q := queries.Named()
+	sqls := []string{q["Q-AGG"], q["Q-CSA"], q["Q17"]}
+
+	const goroutines = 8
+	const perG = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p, err := c.Get(sqls[(g+i)%len(sqls)])
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				p.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	entries, hits, misses, _ := c.Stats()
+	if entries != len(sqls) {
+		t.Fatalf("entries = %d, want %d", entries, len(sqls))
+	}
+	if hits+misses != goroutines*perG {
+		t.Fatalf("hits (%v) + misses (%v) != %d lookups", hits, misses, goroutines*perG)
+	}
+}
+
+// TestPlanCacheResultsByteIdentical is the cache's correctness oracle: a
+// fresh (uncached) plan, a cache-hit pooled lease and a re-lowered lease must
+// all produce byte-identical sorted results, and those must match the
+// single-node DBMS executor.
+func TestPlanCacheResultsByteIdentical(t *testing.T) {
+	q := queries.Named()
+	for _, name := range []string{"Q-AGG", "Q-CSA"} {
+		sql := q[name]
+		c := newTestCache(4, nil)
+
+		miss, err := c.Get(sql)
+		if err != nil {
+			t.Fatalf("%s miss get: %v", name, err)
+		}
+		relowered, err := c.Get(sql) // pool empty while miss is leased
+		if err != nil {
+			t.Fatalf("%s re-lowered get: %v", name, err)
+		}
+		missLines := runLeased(t, miss)
+		reloweredLines := runLeased(t, relowered)
+		miss.Release()
+		relowered.Release()
+
+		pooled, err := c.Get(sql)
+		if err != nil {
+			t.Fatalf("%s pooled get: %v", name, err)
+		}
+		if !pooled.Hit {
+			t.Fatalf("%s pooled get missed", name)
+		}
+		pooledLines := runLeased(t, pooled)
+		pooled.Release()
+
+		want := oracleLines(t, sql)
+		diffLines(t, name+" uncached vs oracle", missLines, want)
+		diffLines(t, name+" re-lowered vs oracle", reloweredLines, want)
+		diffLines(t, name+" pooled rerun vs oracle", pooledLines, want)
+	}
+}

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"ysmart/internal/datagen"
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
+	"ysmart/internal/translator"
+)
+
+// session is one client connection: its wire codec, its private simulated
+// runtime (DFS + engine preloaded with the server's datasets) and its live
+// status counters. The simple query protocol is strictly serial per
+// connection, so the runtime never sees concurrent chains — with one
+// exception: a timed-out query's run is abandoned, and the session waits
+// for it to finish before executing the next query (the engine has no
+// cancellation; see runQuery).
+type session struct {
+	id     int64
+	srv    *Server
+	conn   net.Conn
+	reader *wireReader
+	writer *wireWriter
+
+	dfs    *mapreduce.DFS
+	engine *mapreduce.Engine
+
+	// pending, when non-nil, is the completion signal of a timed-out,
+	// abandoned run still executing on this session's engine; the next
+	// query waits on it (the engine is single-chain). Only the session's
+	// serve goroutine touches it.
+	pending <-chan struct{}
+
+	mu       sync.Mutex // guards the status fields below
+	remote   string
+	user     string
+	database string
+	started  time.Time
+	queries  int64
+	hits     int64
+	errors   int64
+	current  string // normalized SQL of the executing query, "" when idle
+}
+
+// SessionStatus is one session's row on the admin plane's /sessions
+// endpoint.
+type SessionStatus struct {
+	ID        int64   `json:"id"`
+	Remote    string  `json:"remote"`
+	User      string  `json:"user,omitempty"`
+	Database  string  `json:"database,omitempty"`
+	AgeSecs   float64 `json:"age_seconds"`
+	Queries   int64   `json:"queries"`
+	CacheHits int64   `json:"cache_hits"`
+	Errors    int64   `json:"errors"`
+	Current   string  `json:"current_query,omitempty"`
+}
+
+// status snapshots the session for /sessions.
+func (s *session) status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStatus{
+		ID:        s.id,
+		Remote:    s.remote,
+		User:      s.user,
+		Database:  s.database,
+		AgeSecs:   time.Since(s.started).Seconds(),
+		Queries:   s.queries,
+		CacheHits: s.hits,
+		Errors:    s.errors,
+		Current:   s.current,
+	}
+}
+
+// newSession builds a session over an accepted connection with a fresh
+// runtime sharing the server's pre-encoded table lines.
+func newSession(srv *Server, id int64, conn net.Conn) (*session, error) {
+	cluster := srv.cfg.Cluster()
+	eng, err := mapreduce.NewEngine(mapreduce.NewDFS(), cluster)
+	if err != nil {
+		return nil, err
+	}
+	if srv.cfg.Workers > 0 {
+		eng.SetWorkers(srv.cfg.Workers)
+	}
+	// All session engines record into the server's shared registry, so
+	// /metrics merges per-job histograms across every connection; the
+	// engine event stream joins the server's structured log.
+	eng.Instrument(nil, srv.reg)
+	eng.SetLogger(srv.logger)
+	s := &session{
+		id:      id,
+		srv:     srv,
+		conn:    conn,
+		reader:  newWireReader(conn),
+		writer:  newWireWriter(conn),
+		dfs:     eng.DFS(),
+		engine:  eng,
+		remote:  conn.RemoteAddr().String(),
+		started: time.Now(),
+	}
+	for name, lines := range srv.tables {
+		s.dfs.Write(translator.TablePath(name), lines)
+	}
+	return s, nil
+}
+
+// serve runs the whole connection: startup negotiation, the query loop,
+// teardown. It never panics the server; any protocol or IO error just ends
+// the session.
+func (s *session) serve() {
+	defer s.conn.Close()
+	if err := s.handshake(); err != nil {
+		s.srv.logf(obs.LevelWarn, "session.handshake_failed", s.id, err.Error())
+		return
+	}
+	s.srv.logf(obs.LevelInfo, "session.open", s.id, s.remote)
+	for {
+		typ, payload, err := s.reader.next()
+		if err != nil {
+			s.srv.logf(obs.LevelInfo, "session.closed", s.id, err.Error())
+			return
+		}
+		switch typ {
+		case msgQuery:
+			if err := s.handleQuery(cString(payload)); err != nil {
+				s.srv.logf(obs.LevelInfo, "session.write_failed", s.id, err.Error())
+				return
+			}
+		case msgTerminate:
+			s.srv.logf(obs.LevelInfo, "session.terminated", s.id, s.remote)
+			return
+		default:
+			// Extended-protocol or copy messages: refuse politely and keep
+			// the connection usable for simple queries.
+			_ = s.writer.errorResponse(sqlstateProtocolViolation,
+				fmt.Sprintf("unsupported frontend message %q; only the simple query protocol is served", typ))
+			if err := s.writer.readyForQuery(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handshake performs the startup exchange: SSL/GSS refusal, the v3
+// StartupMessage, trust auth, parameter reports and the first
+// ReadyForQuery.
+func (s *session) handshake() error {
+	for {
+		code, payload, err := s.reader.startup()
+		if err != nil {
+			return err
+		}
+		switch code {
+		case sslRequestCode, gssEncReqCode:
+			// Refuse encryption; psql falls back to plaintext.
+			if _, err := s.conn.Write([]byte{'N'}); err != nil {
+				return err
+			}
+		case cancelReqCode:
+			// Cancellation connections carry no session; just drop them.
+			return fmt.Errorf("cancel request connection")
+		case protocolVersion3:
+			params := startupParams(payload)
+			s.mu.Lock()
+			s.user = params["user"]
+			s.database = params["database"]
+			s.mu.Unlock()
+			if err := s.writer.authenticationOk(); err != nil {
+				return err
+			}
+			for _, kv := range [][2]string{
+				{"server_version", "13.0 (ysmart simulated)"},
+				{"server_encoding", "UTF8"},
+				{"client_encoding", "UTF8"},
+				{"DateStyle", "ISO, MDY"},
+				{"integer_datetimes", "on"},
+				{"standard_conforming_strings", "on"},
+			} {
+				if err := s.writer.parameterStatus(kv[0], kv[1]); err != nil {
+					return err
+				}
+			}
+			if err := s.writer.backendKeyData(int32(s.id), 0); err != nil {
+				return err
+			}
+			return s.writer.readyForQuery()
+		default:
+			return fmt.Errorf("unsupported protocol version %d", code)
+		}
+	}
+}
+
+// handleQuery answers one simple Query message. The returned error is an IO
+// error on the connection; query failures are reported to the client and
+// return nil.
+func (s *session) handleQuery(sql string) error {
+	trimmed := strings.TrimSpace(sql)
+	for strings.HasSuffix(trimmed, ";") {
+		trimmed = strings.TrimSpace(strings.TrimSuffix(trimmed, ";"))
+	}
+	if trimmed == "" {
+		if err := s.writer.emptyQueryResponse(); err != nil {
+			return err
+		}
+		return s.writer.readyForQuery()
+	}
+	if tag, ok := sessionCommand(trimmed); ok {
+		// SET/BEGIN/COMMIT-style session commands psql may send: accepted
+		// as no-ops so scripts and \timing work against the simulator.
+		if err := s.writer.commandComplete(tag); err != nil {
+			return err
+		}
+		return s.writer.readyForQuery()
+	}
+
+	start := time.Now()
+	err := s.runQuery(trimmed, start)
+	if err != nil {
+		s.mu.Lock()
+		s.errors++
+		s.mu.Unlock()
+		sqlstate := sqlstateSyntaxError
+		switch {
+		case errors.Is(err, ErrQueryTimeout):
+			sqlstate = sqlstateQueryCanceled
+		case errors.Is(err, ErrQueueFull):
+			sqlstate = sqlstateTooManyConns
+		case errors.Is(err, ErrDraining):
+			sqlstate = sqlstateShutdown
+		}
+		s.srv.reg.Add("ysmart_server_query_errors_total", 1)
+		if werr := s.writer.errorResponse(sqlstate, err.Error()); werr != nil {
+			return werr
+		}
+	}
+	return s.writer.readyForQuery()
+}
+
+// runQuery resolves, admits and executes one statement, streaming its
+// result. Client-facing failures come back as errors; wire-level write
+// failures during streaming also surface here and end the session upstream.
+func (s *session) runQuery(sql string, start time.Time) error {
+	srv := s.srv
+	if s.pending != nil {
+		// An abandoned run is still using this session's engine; the
+		// protocol already delivered its timeout error, so just wait.
+		<-s.pending
+		s.pending = nil
+	}
+	p, err := srv.cache.Get(sql)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.queries++
+	if p.Hit {
+		s.hits++
+	}
+	s.current = p.Normalized
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.current = ""
+		s.mu.Unlock()
+	}()
+
+	var deadline time.Time
+	if srv.cfg.QueryTimeout > 0 {
+		deadline = start.Add(srv.cfg.QueryTimeout)
+	}
+	release, err := srv.admission.Acquire(deadline)
+	if err != nil {
+		p.Release()
+		return err
+	}
+
+	// The engine cannot be interrupted mid-chain, so a timed-out run is
+	// abandoned, not aborted: the client gets its error now, and the slot,
+	// lease and session runtime are reclaimed when the run actually ends.
+	// The session waits for that before its next query (serial runtimes).
+	type outcome struct {
+		rows []exec.Row
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer release()
+		defer p.Release()
+		o := outcome{}
+		_, o.err = s.engine.RunChain(p.Translation.Jobs)
+		if o.err == nil {
+			o.rows, o.err = p.Translation.ReadResult(s.dfs)
+		}
+		done <- o
+	}()
+
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return o.err
+		}
+		lat := time.Since(start).Seconds()
+		srv.reg.Observe("ysmart_server_query_seconds", lat)
+		srv.reg.Add("ysmart_server_queries_total", 1)
+		return s.sendResult(p.Schema, o.rows)
+	case <-timeout:
+		srv.reg.Add("ysmart_server_query_timeouts_total", 1)
+		finished := make(chan struct{})
+		go func() { <-done; close(finished) }()
+		s.pending = finished
+		s.srv.logf(obs.LevelWarn, "session.query_abandoned", s.id, p.Normalized)
+		return fmt.Errorf("%w after %s (run abandoned)", ErrQueryTimeout, srv.cfg.QueryTimeout)
+	}
+}
+
+// sendResult streams RowDescription + DataRows + CommandComplete.
+func (s *session) sendResult(schema *exec.Schema, rows []exec.Row) error {
+	if err := s.writer.rowDescription(schema); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := s.writer.dataRow(row); err != nil {
+			return err
+		}
+	}
+	return s.writer.commandComplete(fmt.Sprintf("SELECT %d", len(rows)))
+}
+
+// sessionCommand recognizes statements a SQL client sends for session
+// management; they are accepted as no-ops with their usual command tag.
+func sessionCommand(sql string) (tag string, ok bool) {
+	first := strings.ToUpper(sql)
+	if i := strings.IndexAny(first, " \t\r\n"); i >= 0 {
+		first = first[:i]
+	}
+	switch first {
+	case "SET":
+		return "SET", true
+	case "BEGIN", "START":
+		return "BEGIN", true
+	case "COMMIT", "END":
+		return "COMMIT", true
+	case "ROLLBACK", "ABORT":
+		return "ROLLBACK", true
+	case "RESET":
+		return "RESET", true
+	case "DISCARD", "DEALLOCATE":
+		return first, true
+	}
+	return "", false
+}
+
+// EncodeTables renders every table's rows in the engine row codec once, so
+// sessions can share the immutable encoded lines instead of re-encoding per
+// connection.
+func EncodeTables(tables map[string][]exec.Row) map[string][]string {
+	out := make(map[string][]string, len(tables))
+	for name, rows := range tables {
+		out[name] = datagen.Lines(rows)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package translator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"ysmart/internal/sqlparser"
+)
+
+// NormalizeSQL renders sql in a canonical single-line form suitable as a
+// plan-cache key: comments dropped, whitespace collapsed to single spaces,
+// keywords upper-cased, identifiers lower-cased (the planner resolves
+// tables, columns and aliases case-insensitively, so spellings that differ
+// only in identifier case are the same query), string literals re-quoted
+// with ” escaping, != folded to <>, and trailing semicolons removed. Two
+// SQL texts normalize to the same string exactly when they tokenize to the
+// same token stream, so a cache keyed on the result can never alias two
+// semantically different queries.
+//
+// The input is only lexed, not parsed: a string that normalizes cleanly may
+// still fail to parse, and the cache-miss path reports that error.
+func NormalizeSQL(sql string) (string, error) {
+	toks, err := sqlparser.Tokenize(sql)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind {
+		case sqlparser.KindEOF:
+		case sqlparser.KindIdent:
+			parts = append(parts, strings.ToLower(t.Text))
+		case sqlparser.KindString:
+			parts = append(parts, "'"+strings.ReplaceAll(t.Text, "'", "''")+"'")
+		default:
+			// Keywords arrive upper-cased from the lexer; numbers and
+			// symbols keep their source spelling (the lexer already folds
+			// != to <>).
+			parts = append(parts, t.Text)
+		}
+	}
+	for len(parts) > 0 && parts[len(parts)-1] == ";" {
+		parts = parts[:len(parts)-1]
+	}
+	if len(parts) == 0 {
+		return "", fmt.Errorf("empty statement")
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// CacheKey builds the plan-cache key of a query: its normalized SQL scoped
+// by translation mode, so one cache can serve servers running in different
+// modes without mixing their job chains.
+func CacheKey(sql string, mode Mode) (string, error) {
+	norm, err := NormalizeSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	return mode.String() + "\x00" + norm, nil
+}
+
+// QueryTag derives a short stable job/DFS label from a cache key, so every
+// cached plan writes its intermediate and final outputs under a distinct
+// deterministic path prefix no matter which session replays it.
+func QueryTag(key string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return fmt.Sprintf("q%012x", h.Sum64()&0xffffffffffff)
+}
