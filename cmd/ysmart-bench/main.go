@@ -39,7 +39,7 @@ type figResult interface {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ysmart-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, all")
+	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, all")
 	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the robustness figure's deterministic fault scenarios")
 	workers := fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); figures are identical at any count")
@@ -72,6 +72,7 @@ func run(args []string) error {
 		{"ablations", func() (figResult, error) { return experiments.Ablations(w) }},
 		{"scaling", func() (figResult, error) { return experiments.ScalingSweep(w) }},
 		{"robustness", func() (figResult, error) { return experiments.Robustness(w, *faultSeed) }},
+		{"manimal", func() (figResult, error) { return experiments.Manimal(w) }},
 	}
 
 	// Bench progress plane: the figure harnesses build engines internally,
@@ -129,7 +130,7 @@ func run(args []string) error {
 		rows = append(rows, result.BenchRows()...)
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, all)", *fig)
+		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, all)", *fig)
 	}
 
 	if *asJSON {

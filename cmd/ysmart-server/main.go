@@ -56,6 +56,7 @@ func run(args []string, stdout io.Writer, ready func(sqlAddr, adminAddr string) 
 		queued    = fs.Int("max-queued", 64, "queries waiting in the admission FIFO before new ones are rejected")
 		timeout   = fs.Duration("query-timeout", 0, "per-query bound on admission wait + execution (0 = unlimited); timed-out runs are abandoned, not aborted")
 		cacheSize = fs.Int("cache-size", 128, "plan cache capacity in distinct normalized queries")
+		manimal   = fs.Bool("manimal", false, "apply MANIMAL-style scan rewrites to every translated plan (optimized plans cache under separate keys)")
 		faults    = fs.String("faults", "", `fault scenario per session runtime, e.g. "task=0.1,straggler=0.05x6,node=2@500"`)
 		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
 		listen    = fs.String("listen", "", "serve the admin HTTP plane (/metrics, /sessions, /jobs, /debug/pprof) on this address")
@@ -136,6 +137,7 @@ func run(args []string, stdout io.Writer, ready func(sqlAddr, adminAddr string) 
 		CacheSize:    *cacheSize,
 		Registry:     reg,
 		Logger:       logger,
+		Manimal:      *manimal,
 	}
 	srv, err := server.New(cfg, server.EncodeTables(rows))
 	if err != nil {

@@ -124,3 +124,64 @@ func httpGet(t *testing.T, url string) string {
 	}
 	return string(body)
 }
+
+// TestServerMainManimal: a -manimal server serves a filtered query
+// through the full wire path with the scan prefilters installed, and
+// repeat queries hit the (optimizer-keyed) plan cache.
+func TestServerMainManimal(t *testing.T) {
+	var out strings.Builder
+	up := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-manimal",
+			"-cache-size", "8",
+		}, &out, func(sqlAddr, adminAddr string) <-chan struct{} {
+			up <- sqlAddr
+			return stop
+		})
+	}()
+
+	var sqlAddr string
+	select {
+	case sqlAddr = <-up:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\noutput:\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	cli, err := server.Dial(sqlAddr, "manimaltest", "ysmart", 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", sqlAddr, err)
+	}
+	defer cli.Close()
+
+	const sql = "SELECT l_shipmode, count(*) AS ship_count FROM lineitem WHERE l_shipdate >= 9300 GROUP BY l_shipmode"
+	res1, err := cli.Query(sql)
+	if err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if len(res1.Rows) == 0 {
+		t.Fatal("optimized query returned no rows")
+	}
+	res2, err := cli.Query(sql) // must hit the optimizer-keyed cache entry
+	if err != nil {
+		t.Fatalf("second query: %v", err)
+	}
+	if len(res2.Rows) != len(res1.Rows) {
+		t.Fatalf("repeat query returned %d rows, first returned %d", len(res2.Rows), len(res1.Rows))
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	ysmart-vet [-list] [-check a,b] [-json] [package patterns]
+//	ysmart-vet -optimize [-json] [package patterns]
 //
 // With no patterns it vets ./... from the current directory, applying
 // each analyzer's package scope. Explicit directory patterns bypass the
@@ -18,6 +19,14 @@
 // JSON array on stdout (one object per finding: file, line, col, check,
 // message) for CI annotation tooling. Exit status is 1 when any
 // diagnostic is reported and 2 on a driver error.
+//
+// -optimize switches to report-only MANIMAL mode: instead of vetting, it
+// runs the internal/optanalysis static optimizer over every mapreduce.Job
+// literal in the matched packages and prints which early-filter,
+// reducer-pushdown and projection-trim rewrites are provably sound (and
+// which were refused, with reasons). It never rewrites anything — the
+// -manimal flag on ysmart and ysmart-server applies the rewrites at run
+// time. Exit status is 0 even when rewrites are found; 2 on driver error.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"strings"
 
 	"ysmart/internal/lint"
+	"ysmart/internal/optanalysis"
 )
 
 // jsonDiag is the wire form of one diagnostic under -json.
@@ -49,8 +59,27 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	check := fs.String("check", "", "comma-separated analyzer names to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array for CI annotations")
+	optimize := fs.Bool("optimize", false, "report the MANIMAL rewrites provable for each mapreduce.Job literal instead of vetting")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *optimize {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		rep, err := optanalysis.Analyze(".", patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "ysmart-vet: %v\n", err)
+			return 2
+		}
+		if *asJSON {
+			fmt.Fprintln(stdout, rep.JSON())
+		} else {
+			fmt.Fprint(stdout, rep.Format())
+		}
+		return 0
 	}
 
 	if *list {

@@ -128,3 +128,56 @@ func TestDriverErrorExitsTwo(t *testing.T) {
 		t.Error("driver error produced no stderr")
 	}
 }
+
+// TestOptimizeReport: -optimize over the naive user-job corpus reports
+// the provable MANIMAL rewrites (with discharge paths) and exits 0.
+func TestOptimizeReport(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "userjobs")
+	code, out, errOut := capture(t, []string{"-optimize", dir})
+	if code != 0 {
+		t.Fatalf("-optimize exit = %d, want 0 (stderr: %s)", code, errOut)
+	}
+	for _, want := range []string{
+		"early-filter", "reducer-pushdown", "projection-trim",
+		"shippedRecently", "o_totalprice > 30000", "refused",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-optimize output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOptimizeJSON: -optimize -json is machine-readable per-job reports.
+func TestOptimizeJSON(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "userjobs")
+	code, out, errOut := capture(t, []string{"-optimize", "-json", dir})
+	if code != 0 {
+		t.Fatalf("-optimize -json exit = %d, want 0 (stderr: %s)", code, errOut)
+	}
+	var rep struct {
+		Jobs []struct {
+			Name     string `json:"name"`
+			Rewrites []struct {
+				Kind string `json:"kind"`
+			} `json:"rewrites"`
+		} `json:"Jobs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-optimize -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("JSON report has %d jobs, want 3", len(rep.Jobs))
+	}
+}
+
+// TestOptimizeDriverError: an unloadable pattern under -optimize is a
+// driver error.
+func TestOptimizeDriverError(t *testing.T) {
+	code, _, errOut := capture(t, []string{"-optimize", t.TempDir()})
+	if code != 2 {
+		t.Fatalf("-optimize driver error exit = %d, want 2", code)
+	}
+	if errOut == "" {
+		t.Error("driver error produced no stderr")
+	}
+}

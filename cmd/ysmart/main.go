@@ -57,6 +57,7 @@ func run(args []string) error {
 		modeName  = fs.String("mode", "ysmart", "translation mode: ysmart, one-to-one, pig-like, ic-tc-only")
 		clusterN  = fs.String("cluster", "small", "cluster model: small, ec2-11, ec2-101, facebook")
 		explain   = fs.Bool("explain", false, "print plan, correlations and job plan")
+		manimal   = fs.Bool("manimal", false, "apply MANIMAL-style static rewrites (early scan filters) to the jobs and print what was applied or refused")
 		dot       = fs.Bool("dot", false, "print the job graph in Graphviz dot syntax")
 		dataDir   = fs.String("data", "", "load tables from <dir>/<table>.tsv (ysmart-datagen output) instead of generating")
 		runIt     = fs.Bool("run", false, "execute on workload data and print results")
@@ -143,6 +144,11 @@ func run(args []string) error {
 	tr, err := q.Translate(mode, opts)
 	if err != nil {
 		return err
+	}
+	if *manimal {
+		_, report := ysmart.ApplyManimal(tr)
+		fmt.Println("== manimal ==")
+		fmt.Print(report)
 	}
 
 	if *dot {

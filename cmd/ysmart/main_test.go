@@ -324,3 +324,21 @@ func TestRunObservabilityFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunManimal: -manimal applies the scan rewrites, prints the
+// applied/refused report, and the run still completes.
+func TestRunManimal(t *testing.T) {
+	sql := "SELECT l_shipmode, count(*) AS ship_count FROM lineitem WHERE l_shipdate >= 9300 GROUP BY l_shipmode"
+	if err := run([]string{"-sql", sql, "-manimal", "-run", "-max-rows", "3"}); err != nil {
+		t.Fatalf("run -manimal: %v", err)
+	}
+	// Report-only (no -run): the manimal section still prints with -explain.
+	if err := run([]string{"-sql", sql, "-manimal", "-explain"}); err != nil {
+		t.Fatalf("explain -manimal: %v", err)
+	}
+	// An unfiltered scan is refused, not silently skipped, and the run
+	// still succeeds.
+	if err := run([]string{"-query", "Q-AGG", "-manimal", "-run", "-max-rows", "3"}); err != nil {
+		t.Fatalf("run -manimal on unfiltered scan: %v", err)
+	}
+}

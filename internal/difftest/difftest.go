@@ -115,6 +115,18 @@ func Tables() (map[string][]ysmart.Row, error) {
 // The translation is rebuilt per run because jobs carry per-run reducer
 // state.
 func Execute(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.FaultPlan, tables map[string][]ysmart.Row) (*Run, error) {
+	return execute(name, sql, mode, workers, plan, tables, false)
+}
+
+// ExecuteManimal is Execute with the MANIMAL scan rewrites applied to the
+// translation before the run — the `-manimal` execution path. The rewrites
+// must be unobservable in the result rows at any worker count and under
+// any fault plan; only scan-side counters may move.
+func ExecuteManimal(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.FaultPlan, tables map[string][]ysmart.Row) (*Run, error) {
+	return execute(name, sql, mode, workers, plan, tables, true)
+}
+
+func execute(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.FaultPlan, tables map[string][]ysmart.Row, optimize bool) (*Run, error) {
 	q, err := ysmart.Parse(sql, ysmart.WorkloadCatalog())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
@@ -122,6 +134,9 @@ func Execute(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.Fa
 	tr, err := q.Translate(mode, ysmart.Options{QueryName: strings.ToLower(name)})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if optimize {
+		ysmart.ApplyManimal(tr)
 	}
 	rt, err := ysmart.NewRuntime(Cluster(plan))
 	if err != nil {

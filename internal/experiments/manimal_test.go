@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestManimalShape pins the ablation's claims: the rewrites shrink the
+// map output on every naive user job (the ISSUE's >= 2 queries with
+// byte/row savings), pushdown drops records, the early filter fires
+// where one is provable, the cost model gets cheaper, and no run ever
+// changes a result row.
+func TestManimalShape(t *testing.T) {
+	w := testWorkload(t)
+	r, err := Manimal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (three user jobs + one translated query)", len(r.Rows))
+	}
+
+	byQuery := map[string]ManimalRow{}
+	saved := 0
+	for _, row := range r.Rows {
+		byQuery[row.Query] = row
+		if !row.ResultOK {
+			t.Errorf("%s: optimized rows differ from unoptimized", row.Query)
+		}
+		if row.OnBytes < row.OffBytes {
+			saved++
+		}
+		if row.Source == "user-job" {
+			if row.Rewrites == 0 {
+				t.Errorf("%s: no rewrites applied", row.Query)
+			}
+			if row.OnBytes >= row.OffBytes {
+				t.Errorf("%s: map output %d bytes with analysis on, %d off", row.Query, row.OnBytes, row.OffBytes)
+			}
+			if row.OnTime >= row.OffTime {
+				t.Errorf("%s: predicted time %f with analysis on, %f off — the cost model saw no saving",
+					row.Query, row.OnTime, row.OffTime)
+			}
+		}
+	}
+	if saved < 2 {
+		t.Errorf("map-output bytes shrank on %d queries, want >= 2", saved)
+	}
+	if row := byQuery["highvalue-naive-j1"]; row.OnRecs >= row.OffRecs {
+		t.Errorf("highvalue pushdown did not drop map-output records (%d vs %d)", row.OnRecs, row.OffRecs)
+	}
+	if row := byQuery["lateship-naive-j1"]; row.Filtered == 0 {
+		t.Error("lateship early filter never fired")
+	}
+	if row := byQuery["Q-LATESHIP"]; row.Filtered == 0 || row.Rewrites == 0 {
+		t.Errorf("translated query: filtered = %d, rewrites = %d; the scan-fact prefilter should fire",
+			row.Filtered, row.Rewrites)
+	}
+
+	if text := r.Format(); !strings.Contains(text, "MANIMAL") || !strings.Contains(text, "highvalue-naive-j1") {
+		t.Errorf("Format incomplete:\n%s", text)
+	}
+	if rows := r.BenchRows(); len(rows) != 8 {
+		t.Errorf("BenchRows = %d, want 8 (off/on per query)", len(rows))
+	}
+}

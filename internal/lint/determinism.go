@@ -173,8 +173,141 @@ func nondetCall(pkg *Package, call *ast.CallExpr) (msg, short string) {
 			return fmt.Sprintf("rand.%s draws from the global generator; use a *rand.Rand seeded from the cluster/plan seed", fn.Name()),
 				fmt.Sprintf("the global rand.%s", fn.Name())
 		}
+	case "sort":
+		if fn.Name() == "Slice" || fn.Name() == "SliceStable" {
+			return nondetSortComparator(pkg, fn.Name(), call)
+		}
 	}
 	return "", ""
+}
+
+// nondetSortComparator audits a sort.Slice/SliceStable comparator literal
+// for two less functions that break deterministic replay:
+//
+//   - float comparisons with no math.IsNaN handling: NaN compares false
+//     against everything, so the "order" is not total and the sorted
+//     output depends on the pivot sequence rather than the data;
+//   - a single map-derived comparison with no tie-break: elements whose
+//     map values collide keep whatever order the (randomized) map
+//     iteration produced them in, and sort preserves that accident.
+//
+// A comparator that mentions math.IsNaN is taken as NaN-aware; a
+// comparator combining several conditions (||, &&) is taken as carrying a
+// tie-break for the map case.
+func nondetSortComparator(pkg *Package, fnName string, call *ast.CallExpr) (msg, short string) {
+	if len(call.Args) < 2 {
+		return "", ""
+	}
+	lit, ok := call.Args[1].(*ast.FuncLit)
+	if !ok {
+		return "", ""
+	}
+	if floatCompare(pkg, lit.Body) && !mentionsIsNaN(pkg, lit.Body) {
+		return fmt.Sprintf("sort.%s comparator orders floats without math.IsNaN handling; NaN breaks the total order, so guard it (or reject non-finite values upstream) to keep replay deterministic", fnName),
+			"a NaN-unsafe float sort comparator"
+	}
+	if ret := soleComparison(lit.Body); ret != nil && mapDerived(pkg, ret) {
+		return fmt.Sprintf("sort.%s comparator orders by map-derived values with no tie-break; elements with equal values keep the randomized map-iteration order, so add a secondary key", fnName),
+			"a map-derived sort key without a tie-break"
+	}
+	return "", ""
+}
+
+// floatCompare reports whether the body contains an ordered comparison
+// between float-typed operands.
+func floatCompare(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		if t := pkg.Info.Types[be.X].Type; t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsIsNaN reports whether the body calls math.IsNaN (the sanctioned
+// way to make a float comparator total).
+func mentionsIsNaN(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "math" && fn.Name() == "IsNaN" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// soleComparison returns the comparison expression when the comparator body
+// is a single `return a < b` (no tie-break chain), nil otherwise.
+func soleComparison(body *ast.BlockStmt) *ast.BinaryExpr {
+	if len(body.List) != 1 {
+		return nil
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	be, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return be
+	}
+	return nil
+}
+
+// mapDerived reports whether either side of the comparison indexes into a
+// map (the sorted elements' order then hinges on values looked up per key).
+func mapDerived(pkg *Package, be *ast.BinaryExpr) bool {
+	derived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if t := pkg.Info.Types[ix.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return derived(be.X) || derived(be.Y)
 }
 
 // nondetMapRange classifies `range m` over a map whose body emits (calls

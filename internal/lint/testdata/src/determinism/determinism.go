@@ -5,6 +5,7 @@
 package determinism
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -95,4 +96,50 @@ type oracle interface{ Draw() int }
 
 func viaOracle(o oracle) int {
 	return o.Draw() // want "dynamic call is unresolvable \(no in-module implementation of oracle.Draw\); assume nondeterministic"
+}
+
+// --- sort.Slice comparators: NaN-unsafe float orders and map-derived keys ---
+
+func sortScores(xs []float64) {
+	sort.Slice(xs, func(i, k int) bool { return xs[i] < xs[k] }) // want "sort.Slice comparator orders floats without math.IsNaN handling"
+}
+
+func sortScoresDesc(xs []float64) {
+	sort.SliceStable(xs, func(i, k int) bool { return xs[i] > xs[k] }) // want "sort.SliceStable comparator orders floats without math.IsNaN handling"
+}
+
+// sortScoresTotal guards NaN explicitly, so the order is total: clean.
+func sortScoresTotal(xs []float64) {
+	sort.Slice(xs, func(i, k int) bool {
+		if math.IsNaN(xs[i]) || math.IsNaN(xs[k]) {
+			return math.IsNaN(xs[i]) && !math.IsNaN(xs[k])
+		}
+		return xs[i] < xs[k]
+	})
+}
+
+func sortByCount(keys []string, counts map[string]int) {
+	sort.Slice(keys, func(i, k int) bool { return counts[keys[i]] < counts[keys[k]] }) // want "sort.Slice comparator orders by map-derived values with no tie-break"
+}
+
+// sortByCountTieBreak falls back to the key itself on equal counts, so
+// equal-valued elements have a deterministic order: clean.
+func sortByCountTieBreak(keys []string, counts map[string]int) {
+	sort.Slice(keys, func(i, k int) bool {
+		if counts[keys[i]] != counts[keys[k]] {
+			return counts[keys[i]] < counts[keys[k]]
+		}
+		return keys[i] < keys[k]
+	})
+}
+
+// sortInts orders by a plain int slice element: clean.
+func sortInts(xs []int) {
+	sort.Slice(xs, func(i, k int) bool { return xs[i] < xs[k] })
+}
+
+// callsNaNSort: the comparator fact propagates through the call graph
+// like any other nondeterminism source.
+func callsNaNSort(xs []float64) {
+	sortScores(xs) // want "call to determinism.sortScores reaches a NaN-unsafe float sort comparator via determinism.sortScores"
 }

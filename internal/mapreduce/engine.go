@@ -193,6 +193,7 @@ type mapTaskResult struct {
 	pairs      []kv
 	preRecords int64
 	preBytes   int64
+	filtered   int64 // lines the input's Prefilter rejected before the mapper
 }
 
 // RunJob executes a single job: map over every input, optional combine per
@@ -257,12 +258,17 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 		emit := func(key, value string) {
 			taskPairs = append(taskPairs, kv{key, value})
 		}
+		var filtered int64
 		for _, line := range task.chunk {
+			if task.input.Prefilter != nil && !task.input.Prefilter(line) {
+				filtered++
+				continue
+			}
 			if err := task.input.Mapper.Map(line, emit); err != nil {
 				return fmt.Errorf("map %s: %w", task.input.Path, err)
 			}
 		}
-		r := mapTaskResult{pairs: taskPairs, preRecords: int64(len(taskPairs))}
+		r := mapTaskResult{pairs: taskPairs, preRecords: int64(len(taskPairs)), filtered: filtered}
 		for _, p := range taskPairs {
 			r.preBytes += int64(len(p.key) + len(p.value) + 2)
 		}
@@ -282,6 +288,7 @@ func (e *Engine) runJob(j *Job) (*JobStats, error) {
 	for _, r := range mapResults {
 		preCombineRecords += r.preRecords
 		preCombineBytes += r.preBytes
+		stats.MapRecordsFiltered += r.filtered
 		if j.Reducer == nil {
 			for _, p := range r.pairs {
 				mapOnlyLines = append(mapOnlyLines, p.value)
@@ -456,6 +463,18 @@ func partitionOf(key string, numReduce int) int {
 // Cost model application
 // ---------------------------------------------------------------------------
 
+// mapCPURecords returns the effective record count charged the full
+// MapCPUPerRecord: records an early filter rejected cost only the
+// prefilter fraction of a map invocation, so installed prefilters lower
+// the predicted map CPU (and PredictedTime) in proportion to their
+// selectivity. With no prefilter installed it is exactly the scaled input
+// record count, keeping fault-free costing byte-identical.
+func mapCPURecords(s *JobStats, cm CostModel, scale float64) float64 {
+	inRecords := float64(s.MapInputRecords) * scale
+	filtered := float64(s.MapRecordsFiltered) * scale
+	return inRecords - filtered*(1-cm.prefilterFactor())
+}
+
 // costJob fills the simulated phase times of a full map+reduce job from its
 // counters. All byte/record quantities are scaled by the cluster DataScale
 // first. Each phase is costed as the maximum of its disk-, network- and
@@ -468,7 +487,6 @@ func (e *Engine) costJob(j *Job, s *JobStats, preCombineRecords, preCombineBytes
 	nodes := cl.effectiveNodes()
 
 	inBytes := float64(s.MapInputBytes) * scale
-	inRecords := float64(s.MapInputRecords) * scale
 	preBytes := float64(preCombineBytes) * scale
 	outBytes := float64(s.MapOutputBytes) * scale
 	spillBytes := outBytes
@@ -481,7 +499,7 @@ func (e *Engine) costJob(j *Job, s *JobStats, preCombineRecords, preCombineBytes
 	// Map phase. Compression runs inline in the spill path, so its CPU cost
 	// adds to the phase rather than overlapping the disk time.
 	mapDisk := (inBytes + spillBytes) / (nodes * cm.DiskBandwidth)
-	mapCPU := (inRecords*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
+	mapCPU := (mapCPURecords(s, cm, scale)*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapTime = (math.Max(mapDisk, mapCPU)+compressCPU/cl.mapSlots())*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
 	s.MapBottleneck = "disk"
@@ -529,13 +547,12 @@ func (e *Engine) costMapOnly(j *Job, s *JobStats, preCombineRecords, preCombineB
 	nodes := cl.effectiveNodes()
 
 	inBytes := float64(s.MapInputBytes) * scale
-	inRecords := float64(s.MapInputRecords) * scale
 	outBytes := float64(s.ReduceOutputBytes) * scale
 	repl := float64(cm.HDFSReplication - 1)
 
 	mapDisk := (inBytes + outBytes) / (nodes * cm.DiskBandwidth)
 	mapNet := outBytes * repl / (nodes * cm.NetworkBandwidth)
-	mapCPU := inRecords * cm.MapCPUPerRecord / cl.mapSlots()
+	mapCPU := mapCPURecords(s, cm, scale) * cm.MapCPUPerRecord / cl.mapSlots()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapTime = math.Max(mapDisk+mapNet, mapCPU)*cl.loadFactor()*cl.reworkFactor() + mapWaves*cm.TaskOverhead
 	s.MapBottleneck = "disk+net"

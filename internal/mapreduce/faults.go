@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -107,13 +108,17 @@ func (p *FaultPlan) IsZero() bool {
 
 // Validate checks the plan against the cluster it will run on.
 func (p *FaultPlan) Validate(nodes int) error {
+	// The range checks below are written as negated closed-interval tests
+	// on purpose: NaN compares false against everything, so `< 0 || >= 1`
+	// would wave a NaN probability through and later feed the scheduler's
+	// sort a value no total order can place.
 	switch {
-	case p.TaskFailureProb < 0 || p.TaskFailureProb >= 1:
+	case !(p.TaskFailureProb >= 0 && p.TaskFailureProb < 1):
 		return fmt.Errorf("fault plan: task failure probability must be in [0, 1)")
-	case p.StragglerProb < 0 || p.StragglerProb >= 1:
+	case !(p.StragglerProb >= 0 && p.StragglerProb < 1):
 		return fmt.Errorf("fault plan: straggler probability must be in [0, 1)")
-	case p.StragglerFactor != 0 && p.StragglerFactor < 1:
-		return fmt.Errorf("fault plan: straggler factor must be >= 1")
+	case p.StragglerFactor != 0 && !(p.StragglerFactor >= 1 && !math.IsInf(p.StragglerFactor, 1)):
+		return fmt.Errorf("fault plan: straggler factor must be finite and >= 1")
 	case p.MaxAttempts < 0:
 		return fmt.Errorf("fault plan: max attempts must be positive")
 	}
@@ -121,8 +126,8 @@ func (p *FaultPlan) Validate(nodes int) error {
 		if nf.Node < 0 || nf.Node >= nodes {
 			return fmt.Errorf("fault plan: node %d out of range [0, %d)", nf.Node, nodes)
 		}
-		if nf.At < 0 {
-			return fmt.Errorf("fault plan: node %d failure time must be >= 0", nf.Node)
+		if !(nf.At >= 0 && !math.IsInf(nf.At, 1)) {
+			return fmt.Errorf("fault plan: node %d failure time must be finite and >= 0", nf.Node)
 		}
 	}
 	return nil
@@ -195,6 +200,18 @@ const (
 // separately (-fault-seed) so one scenario can be replayed under many
 // seeds.
 func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	// strconv.ParseFloat happily accepts "NaN" and "Inf"; no fault
+	// coordinate may be non-finite, so reject them right at the parser.
+	parseFinite := func(clause, s string) (float64, error) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fault spec %q: %v", clause, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("fault spec %q: value must be finite", clause)
+		}
+		return f, nil
+	}
 	p := &FaultPlan{}
 	for _, clause := range strings.Split(spec, ",") {
 		clause = strings.TrimSpace(clause)
@@ -207,22 +224,22 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 		}
 		switch key {
 		case "task":
-			f, err := strconv.ParseFloat(val, 64)
+			f, err := parseFinite(clause, val)
 			if err != nil {
-				return nil, fmt.Errorf("fault spec %q: %v", clause, err)
+				return nil, err
 			}
 			p.TaskFailureProb = f
 		case "straggler":
 			prob, factor, hasFactor := strings.Cut(val, "x")
-			f, err := strconv.ParseFloat(prob, 64)
+			f, err := parseFinite(clause, prob)
 			if err != nil {
-				return nil, fmt.Errorf("fault spec %q: %v", clause, err)
+				return nil, err
 			}
 			p.StragglerProb = f
 			if hasFactor {
-				x, err := strconv.ParseFloat(factor, 64)
+				x, err := parseFinite(clause, factor)
 				if err != nil {
-					return nil, fmt.Errorf("fault spec %q: %v", clause, err)
+					return nil, err
 				}
 				p.StragglerFactor = x
 			}
@@ -235,9 +252,9 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fault spec %q: %v", clause, err)
 			}
-			t, err := strconv.ParseFloat(at, 64)
+			t, err := parseFinite(clause, at)
 			if err != nil {
-				return nil, fmt.Errorf("fault spec %q: %v", clause, err)
+				return nil, err
 			}
 			p.NodeFailures = append(p.NodeFailures, NodeFailure{Node: n, At: t})
 		case "attempts":
@@ -252,6 +269,15 @@ func ParseFaultSpec(spec string) (*FaultPlan, error) {
 	}
 	sort.Slice(p.NodeFailures, func(i, k int) bool {
 		a, b := p.NodeFailures[i], p.NodeFailures[k]
+		// Validate and parseFinite reject NaN times, but the comparator
+		// must be a total order regardless of its inputs: NaN sorts first,
+		// deterministically, instead of poisoning the whole ordering.
+		if math.IsNaN(a.At) || math.IsNaN(b.At) {
+			if math.IsNaN(a.At) != math.IsNaN(b.At) {
+				return math.IsNaN(a.At)
+			}
+			return a.Node < b.Node
+		}
 		return a.At < b.At || (a.At == b.At && a.Node < b.Node)
 	})
 	return p, nil

@@ -114,6 +114,16 @@ func (f CombinerFunc) Combine(key string, values []string) ([]string, error) {
 type Input struct {
 	Path   string
 	Mapper Mapper
+	// Prefilter, when non-nil, is an early filter consulted once per input
+	// line before the mapper runs: lines for which it returns false are
+	// skipped entirely and counted in JobStats.MapRecordsFiltered. An
+	// installer must guarantee the mapper would have produced no output and
+	// no error for every skipped line (the optanalysis rewriter only injects
+	// predicates it can discharge statically), so filtered and unfiltered
+	// runs stay byte-identical. Skipped lines still count as map input —
+	// the scan reads them — but the cost model charges them only
+	// CostModel.PrefilterCPUFactor of the per-record map CPU.
+	Prefilter func(line string) bool
 }
 
 // Job describes one MapReduce job.

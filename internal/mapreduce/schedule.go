@@ -336,7 +336,6 @@ func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombin
 	deaths := plan.deathTimes()
 
 	inBytes := float64(s.MapInputBytes) * scale
-	inRecords := float64(s.MapInputRecords) * scale
 	preBytes := float64(preCombineBytes) * scale
 	outBytes := float64(s.MapOutputBytes) * scale
 	spillBytes := outBytes
@@ -347,7 +346,7 @@ func (e *Engine) costJobFaulty(j *Job, s *JobStats, preCombineRecords, preCombin
 	}
 
 	mapDisk := (inBytes + spillBytes) / (nodes * cm.DiskBandwidth)
-	mapCPU := (inRecords*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
+	mapCPU := (mapCPURecords(s, cm, scale)*cm.MapCPUPerRecord + preBytes*cm.SortCPUPerByte) / cl.mapSlots()
 	mapBase := (math.Max(mapDisk, mapCPU) + compressCPU/cl.mapSlots()) * cl.loadFactor()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapBottleneck = "disk"
@@ -462,13 +461,12 @@ func (e *Engine) costMapOnlyFaulty(j *Job, s *JobStats, preCombineRecords, preCo
 	plan := cl.Faults
 
 	inBytes := float64(s.MapInputBytes) * scale
-	inRecords := float64(s.MapInputRecords) * scale
 	outBytes := float64(s.ReduceOutputBytes) * scale
 	repl := float64(cm.HDFSReplication - 1)
 
 	mapDisk := (inBytes + outBytes) / (nodes * cm.DiskBandwidth)
 	mapNet := outBytes * repl / (nodes * cm.NetworkBandwidth)
-	mapCPU := inRecords * cm.MapCPUPerRecord / cl.mapSlots()
+	mapCPU := mapCPURecords(s, cm, scale) * cm.MapCPUPerRecord / cl.mapSlots()
 	mapBase := math.Max(mapDisk+mapNet, mapCPU) * cl.loadFactor()
 	mapWaves := math.Ceil(float64(s.NumMapTasks) / cl.mapSlots())
 	s.MapBottleneck = "disk+net"
@@ -548,6 +546,11 @@ func (e *Engine) reexecuteMap(j *Job, s *JobStats, tasks []mapTask, mp *phaseSch
 			taskPairs = append(taskPairs, kv{key, value})
 		}
 		for _, line := range mt.chunk {
+			// Retries skip prefiltered lines exactly like the primary pass,
+			// so replayed attempts run the same user code on the same rows.
+			if mt.input.Prefilter != nil && !mt.input.Prefilter(line) {
+				continue
+			}
 			if err := mt.input.Mapper.Map(line, emit); err != nil {
 				return fmt.Errorf("map retry %s: %w", mt.input.Path, err)
 			}

@@ -13,8 +13,13 @@ type JobStats struct {
 	Name string
 
 	// Raw counters measured during execution.
-	MapInputRecords    int64
-	MapInputBytes      int64
+	MapInputRecords int64
+	MapInputBytes   int64
+	// MapRecordsFiltered counts input lines an Input.Prefilter rejected
+	// before the mapper ran (zero when no early filters are installed).
+	// Filtered lines are included in MapInputRecords/Bytes — the scan still
+	// reads them — but pay only a fraction of the per-record map CPU.
+	MapRecordsFiltered int64
 	MapOutputRecords   int64 // after the combiner, if any
 	MapOutputBytes     int64
 	ShuffleBytes       int64 // map output bytes after optional compression

@@ -8,6 +8,7 @@ import (
 	"ysmart/internal/correlation"
 	"ysmart/internal/exec"
 	"ysmart/internal/obs"
+	"ysmart/internal/optanalysis"
 	"ysmart/internal/plan"
 	"ysmart/internal/sqlparser"
 	"ysmart/internal/translator"
@@ -30,10 +31,11 @@ import (
 // ysmart_server_plancache_{hits,misses,evictions,retranslations}_total plus
 // the ysmart_server_plancache_entries gauge.
 type PlanCache struct {
-	mode translator.Mode
-	cat  plan.Catalog
-	cap  int
-	reg  *obs.Registry
+	mode     translator.Mode
+	cat      plan.Catalog
+	cap      int
+	reg      *obs.Registry
+	optimize bool
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // cache key -> lru element
@@ -75,6 +77,14 @@ func NewPlanCache(capacity int, mode translator.Mode, cat plan.Catalog, reg *obs
 	}
 }
 
+// SetOptimize switches the cache to the MANIMAL pipeline: cache keys gain
+// the optimizer dimension (translator.CacheKeyOpt, so optimized and plain
+// plans of the same SQL never share an entry, a pooled translation, or a
+// QueryTag-derived DFS path), and every lowered translation gets the
+// prefilters its scan facts prove sound. Call it before the first Get; it
+// is not safe to flip on a cache already serving sessions.
+func (c *PlanCache) SetOptimize(on bool) { c.optimize = on }
+
 // Plan is one leased executable plan. Exactly one query executes it at a
 // time; Release must be called when the run (or its abandonment) finishes.
 type Plan struct {
@@ -111,7 +121,7 @@ func (p *Plan) Release() {
 // Get resolves sql to a leased plan, consulting the cache first. Errors
 // are client errors (bad SQL) — the cache itself never fails.
 func (c *PlanCache) Get(sql string) (*Plan, error) {
-	key, err := translator.CacheKey(sql, c.mode)
+	key, err := translator.CacheKeyOpt(sql, c.mode, c.optimize)
 	if err != nil {
 		return nil, fmt.Errorf("normalize: %w", err)
 	}
@@ -206,6 +216,9 @@ func (c *PlanCache) lower(e *cacheEntry) (*translator.Translation, error) {
 	tr, err := translator.TranslateAnalyzed(e.analysis, c.mode, translator.Options{QueryName: e.queryTag})
 	if err != nil {
 		return nil, fmt.Errorf("translate: %w", err)
+	}
+	if c.optimize {
+		optanalysis.ApplyTranslation(tr)
 	}
 	return tr, nil
 }

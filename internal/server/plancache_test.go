@@ -180,6 +180,89 @@ func TestPlanCacheConcurrent(t *testing.T) {
 	}
 }
 
+// TestPlanCacheManimalKeying is the optimizer-dimension correctness proof:
+// a cache serving MANIMAL-optimized plans and one serving plain plans must
+// never alias — different cache keys, different QueryTag-derived DFS
+// prefixes, no shared pooled translation — and both must stay
+// byte-identical to the DBMS oracle. Without CacheKeyOpt the two
+// configurations would collide on normalized SQL and an optimized chain
+// could leak into a session that asked for plain execution (or write over
+// the plain chain's deterministic DFS paths).
+func TestPlanCacheManimalKeying(t *testing.T) {
+	sql := "SELECT l_shipmode, count(*) AS ship_count FROM lineitem WHERE l_shipdate >= 9300 GROUP BY l_shipmode"
+
+	plainKey, err := translator.CacheKeyOpt(sql, translator.YSmart, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optKey, err := translator.CacheKeyOpt(sql, translator.YSmart, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainKey == optKey {
+		t.Fatal("optimized and plain cache keys are identical")
+	}
+
+	plain := newTestCache(4, nil)
+	opt := newTestCache(4, nil)
+	opt.SetOptimize(true)
+
+	pp, err := plain.Get(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := opt.Get(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Translation == po.Translation {
+		t.Fatal("optimized and plain leases share one translation")
+	}
+	if pp.Translation.Output == po.Translation.Output {
+		t.Fatalf("optimized and plain chains share the DFS output path %s", pp.Translation.Output)
+	}
+	prefilters := 0
+	for _, j := range po.Translation.Jobs {
+		for i := range j.Inputs {
+			if j.Inputs[i].Prefilter != nil {
+				prefilters++
+			}
+		}
+	}
+	if prefilters == 0 {
+		t.Fatal("optimized lease of a filtered scan carries no prefilter")
+	}
+	for _, j := range pp.Translation.Jobs {
+		for i := range j.Inputs {
+			if j.Inputs[i].Prefilter != nil {
+				t.Fatal("plain lease carries a prefilter")
+			}
+		}
+	}
+
+	plainLines := runLeased(t, pp)
+	optLines := runLeased(t, po)
+	pp.Release()
+	po.Release()
+	want := oracleLines(t, sql)
+	diffLines(t, "plain vs oracle", plainLines, want)
+	diffLines(t, "manimal vs oracle", optLines, want)
+
+	// A pooled optimized lease keeps its prefilters across reuse.
+	po2, err := opt.Get(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !po2.Hit {
+		t.Fatal("second optimized get missed its own cache")
+	}
+	if po2.Translation.Jobs[0].Inputs[0].Prefilter == nil {
+		t.Fatal("pooled optimized translation lost its prefilter")
+	}
+	diffLines(t, "pooled manimal vs oracle", runLeased(t, po2), want)
+	po2.Release()
+}
+
 // TestPlanCacheResultsByteIdentical is the cache's correctness oracle: a
 // fresh (uncached) plan, a cache-hit pooled lease and a re-lowered lease must
 // all produce byte-identical sorted results, and those must match the

@@ -41,6 +41,11 @@ type Config struct {
 	Registry *obs.Registry
 	// Logger receives structured server events (nil: silent).
 	Logger *obs.Logger
+	// Manimal enables the MANIMAL-style scan rewrites on translated
+	// plans: every lowered chain gets the early-filter prefilters its
+	// scan facts prove sound, and optimized plans are cached under keys
+	// (and DFS path prefixes) disjoint from plain ones.
+	Manimal bool
 }
 
 // Server is the long-running SQL service: a TCP listener speaking the
@@ -88,6 +93,7 @@ func New(cfg Config, tables map[string][]string) (*Server, error) {
 		admission: NewAdmission(cfg.MaxInflight, cfg.MaxQueued, reg),
 		sessions:  make(map[int64]*session),
 	}
+	s.cache.SetOptimize(cfg.Manimal)
 	return s, nil
 }
 

@@ -3,6 +3,7 @@ package translator
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ysmart/internal/cmf"
 	"ysmart/internal/correlation"
@@ -201,6 +202,19 @@ func (lw *lowerer) buildSimpleScanInput(cj *cmf.CommonJob, ss *sharedStream, slo
 	if spec.encode != nil {
 		cj.OpaqueKeys = true
 	}
+	fact := ScanFact{Job: cj.Name, InputIdx: len(cj.Inputs), Table: ss.scan.Table, Path: TablePath(ss.scan.Table)}
+	if n := mapFilterPrefixLen(ss.chain); n == 0 {
+		fact.Refusal = fmt.Sprintf("%s: no selection adjacent to the scan of %s", ss.op.Name(), ss.scan.Table)
+	} else {
+		fact.PredSQL = filterSQL(ss.chain[len(ss.chain)-n:])
+		// The prefilter replays the mapper's own decode-and-filter chain:
+		// a nil row with no error is exactly a line the mapper drops.
+		fact.Prefilter = func(line string) bool {
+			out, err := decode(line)
+			return err != nil || out != nil
+		}
+	}
+	lw.facts = append(lw.facts, fact)
 	cj.Inputs = append(cj.Inputs, cmf.CommonInput{
 		Path:      TablePath(ss.scan.Table),
 		Decode:    decode,
@@ -262,6 +276,10 @@ func (lw *lowerer) buildSharedInput(cj *cmf.CommonJob, table string, streams []*
 		},
 	}
 
+	fact := ScanFact{Job: cj.Name, InputIdx: len(cj.Inputs), Table: table, Path: TablePath(table)}
+	var streamPreds []cmf.RowPred
+	var streamSQL []string
+
 	for _, ss := range streams {
 		// Map-side selection: the maximal run of Filters adjacent to the
 		// scan (the bottom of the top-down chain).
@@ -293,6 +311,13 @@ func (lw *lowerer) buildSharedInput(cj *cmf.CommonJob, table string, streams []*
 				}
 				return true, nil
 			}
+			streamPreds = append(streamPreds, filter)
+			streamSQL = append(streamSQL, "("+strings.Join(filterSQL(mapFilterNodes), " AND ")+")")
+		} else if fact.Refusal == "" {
+			// One unfiltered stream wants every line, so no early filter
+			// can drop anything.
+			fact.Refusal = fmt.Sprintf("shared scan of %s: stream %s.in%d has no map-side selection, so every line must reach its reducer",
+				table, ss.op.Name(), ss.key.inputIdx)
 		}
 		input.Streams = append(input.Streams, cmf.Stream{ID: ss.id, Filter: filter})
 
@@ -316,6 +341,28 @@ func (lw *lowerer) buildSharedInput(cj *cmf.CommonJob, table string, streams []*
 		src = stagesToOps(stages, src, fmt.Sprintf("%s.in%d", ss.op.Name(), ss.key.inputIdx), addOp)
 		slots[ss.key] = slot{src: src, eff: topEff}
 	}
+
+	if fact.Refusal == "" {
+		fact.PredSQL = []string{strings.Join(streamSQL, " OR ")}
+		decodeFull := input.Decode
+		// A line is droppable only when every stream's selection rejects
+		// the decoded row; decode or evaluation errors keep the line so
+		// the mapper surfaces them.
+		fact.Prefilter = func(line string) bool {
+			r, err := decodeFull(line)
+			if err != nil || r == nil {
+				return true
+			}
+			for _, p := range streamPreds {
+				ok, err := p(r)
+				if err != nil || ok {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	lw.facts = append(lw.facts, fact)
 
 	cj.Inputs = append(cj.Inputs, input)
 	return nil

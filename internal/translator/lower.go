@@ -35,6 +35,9 @@ type lowerer struct {
 	effOf     map[*correlation.Operation]effView
 	written   map[*correlation.Operation]outputRef
 	jobLookup map[*correlation.Operation]*jobBuild
+	// facts accumulates per-scan prefilter facts while jobs lower; they
+	// land on Translation.ScanFacts.
+	facts []ScanFact
 	// topLimit is the LIMIT stripped from above the root sort (0 if none);
 	// it decides whether that sort can run range-partitioned.
 	topLimit int
@@ -97,10 +100,29 @@ func (lw *lowerer) lowerSPQuery() (*Translation, error) {
 		return nil
 	})
 	path := lw.jobPath(1)
+	name := fmt.Sprintf("%s-%s-j1[SP]", lw.opts.QueryName, lw.mode)
 	job := &mapreduce.Job{
-		Name:   fmt.Sprintf("%s-%s-j1[SP]", lw.opts.QueryName, lw.mode),
+		Name:   name,
 		Inputs: []mapreduce.Input{{Path: TablePath(scan.Table), Mapper: mapper}},
 		Output: path,
+	}
+	fact := ScanFact{Job: name, Table: scan.Table, Path: TablePath(scan.Table)}
+	if n := mapFilterPrefixLen(in.Chain); n == 0 {
+		fact.Refusal = "no selection adjacent to the scan: every input line can reach the output"
+	} else {
+		fact.PredSQL = filterSQL(in.Chain[len(in.Chain)-n:])
+		fact.Prefilter = func(line string) bool {
+			row, err := exec.DecodeRow(line, decodeSchema)
+			if err != nil {
+				return true
+			}
+			cur := make(exec.Row, len(pre))
+			for i, c := range pre {
+				cur[i] = row[c]
+			}
+			out, err := applyStages(stages, cur)
+			return err != nil || out != nil
+		}
 	}
 	return &Translation{
 		Mode:         lw.mode,
@@ -110,6 +132,7 @@ func (lw *lowerer) lowerSPQuery() (*Translation, error) {
 		Groups:       [][]string{{"SP"}},
 		Output:       path,
 		OutputSchema: topEff.schema,
+		ScanFacts:    []ScanFact{fact},
 	}, nil
 }
 
@@ -155,6 +178,7 @@ func (lw *lowerer) lowerJobs(g *grouping) (*Translation, error) {
 		}
 		tr.Groups = append(tr.Groups, group)
 	}
+	tr.ScanFacts = lw.facts
 	return tr, nil
 }
 

@@ -60,6 +60,21 @@ func CacheKey(sql string, mode Mode) (string, error) {
 	return mode.String() + "\x00" + norm, nil
 }
 
+// CacheKeyOpt builds the plan-cache key of a query with the optimizer
+// dimension folded in: translations carrying the MANIMAL rewrites must
+// never share a cache entry (or a QueryTag-derived DFS prefix) with
+// plain translations of the same SQL.
+func CacheKeyOpt(sql string, mode Mode, optimize bool) (string, error) {
+	key, err := CacheKey(sql, mode)
+	if err != nil {
+		return "", err
+	}
+	if optimize {
+		return "manimal\x00" + key, nil
+	}
+	return key, nil
+}
+
 // QueryTag derives a short stable job/DFS label from a cache key, so every
 // cached plan writes its intermediate and final outputs under a distinct
 // deterministic path prefix no matter which session replays it.

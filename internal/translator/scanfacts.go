@@ -1,0 +1,44 @@
+package translator
+
+import (
+	"ysmart/internal/plan"
+)
+
+// ScanFact describes the map-side selection of one base-table input of a
+// lowered job: either a raw-line Prefilter that discharges exactly the
+// filters the mapper evaluates adjacent to the scan, or the reason no
+// safe prefilter exists. The MANIMAL rewrite stage (internal/optanalysis)
+// consumes these facts to install mapreduce.Input.Prefilter early
+// filters under -manimal, and the analysis report prints them verbatim.
+// Facts cover base-table inputs only; intermediate inputs read other
+// jobs' outputs and are never prefiltered.
+type ScanFact struct {
+	// Job names the mapreduce.Job owning the input (CommonJob inputs
+	// build 1:1, in order, onto the job's Inputs).
+	Job string
+	// InputIdx indexes the owning job's Inputs slice.
+	InputIdx int
+	// Table is the base table the input scans; Path is its DFS path.
+	Table string
+	Path  string
+	// PredSQL renders the discharged predicates in SQL, one conjunct per
+	// entry (a shared scan contributes one OR-across-streams entry).
+	PredSQL []string
+	// Prefilter is the raw-line early filter, nil when refused. It wraps
+	// the mapper's own decode-and-filter path, so it skips a line exactly
+	// when the mapper would have produced no output and no error for it;
+	// lines that fail to decode or evaluate are kept so the mapper still
+	// surfaces the error.
+	Prefilter func(line string) bool
+	// Refusal explains a nil Prefilter.
+	Refusal string
+}
+
+// filterSQL renders a run of chain Filter nodes as SQL conjuncts.
+func filterSQL(nodes []plan.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.(*plan.Filter).Cond.SQL()
+	}
+	return out
+}

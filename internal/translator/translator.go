@@ -88,6 +88,10 @@ type Translation struct {
 	OutputTag string
 	// OutputSchema types the final result rows.
 	OutputSchema *exec.Schema
+	// ScanFacts records, per base-table input, the map-side selection the
+	// MANIMAL rewrite stage may discharge as an early prefilter — or why
+	// it refused (see ScanFact).
+	ScanFacts []ScanFact
 }
 
 // NumJobs returns the number of generated jobs.

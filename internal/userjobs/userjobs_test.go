@@ -1,0 +1,74 @@
+package userjobs
+
+import (
+	"testing"
+
+	"ysmart/internal/datagen"
+	"ysmart/internal/dbms"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/queries"
+	"ysmart/internal/translator"
+)
+
+func workload(t *testing.T) (*mapreduce.DFS, *dbms.Database) {
+	t.Helper()
+	dfs := mapreduce.NewDFS()
+	db := dbms.NewDatabase()
+	cat := queries.Catalog()
+	tpch, err := datagen.TPCH(datagen.DefaultTPCH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks, err := datagen.Clickstream(datagen.DefaultClicks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tables := range []datagen.Tables{tpch, clicks} {
+		for name, rows := range tables {
+			schema, _ := cat.Table(name)
+			dfs.Write(translator.TablePath(name), datagen.Lines(rows))
+			db.Load(name, schema, rows)
+		}
+	}
+	return dfs, db
+}
+
+// TestNaiveProgramsMatchOracle checks the unoptimized corpus against the
+// DBMS oracle: the naive programs must be correct before any rewrite can
+// claim to preserve them.
+func TestNaiveProgramsMatchOracle(t *testing.T) {
+	dfs, db := workload(t)
+	for _, p := range All() {
+		eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunChain(p.Jobs); err != nil {
+			t.Fatalf("%s: %v", p.Jobs[0].Name, err)
+		}
+		rows, err := p.ReadResult(dfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := queries.Plan(p.OracleSQL)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", p.Jobs[0].Name, err)
+		}
+		res, err := dbms.Execute(root, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := dbms.SortedLines(rows), dbms.SortedLines(res.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, oracle has %d", p.Jobs[0].Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: got %q, want %q", p.Jobs[0].Name, i, got[i], want[i])
+			}
+		}
+		if len(got) == 0 {
+			t.Fatalf("%s: empty result, the workload is not exercising the program", p.Jobs[0].Name)
+		}
+	}
+}

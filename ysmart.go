@@ -31,6 +31,7 @@ import (
 	"ysmart/internal/exec"
 	"ysmart/internal/mapreduce"
 	"ysmart/internal/obs"
+	"ysmart/internal/optanalysis"
 	"ysmart/internal/plan"
 	"ysmart/internal/queries"
 	"ysmart/internal/sqlparser"
@@ -195,6 +196,17 @@ func (q *Query) ExplainCorrelations() string { return q.analysis.Report() }
 // Translate compiles the query into MapReduce jobs under a mode.
 func (q *Query) Translate(mode Mode, opts Options) (*Translation, error) {
 	return translator.Translate(q.root, mode, opts)
+}
+
+// ApplyManimal installs the MANIMAL-style scan rewrites on a translation
+// (the -manimal CLI flag): every base-table input whose scan facts prove
+// a sound raw-line predicate gets an early-filter prefilter, and the rest
+// are refused with recorded reasons. It returns how many filters were
+// installed plus a human-readable report of every decision. Results stay
+// byte-identical; only scanned-versus-mapped work changes.
+func ApplyManimal(tr *Translation) (applied int, report string) {
+	a, r := optanalysis.ApplyTranslation(tr)
+	return len(a), optanalysis.FormatScanFacts(a, r)
 }
 
 // ---------------------------------------------------------------------------
