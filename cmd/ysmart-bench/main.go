@@ -39,7 +39,7 @@ type figResult interface {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ysmart-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, all")
+	fig := fs.String("fig", "all", "figure to regenerate: 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, reuse, all")
 	asJSON := fs.Bool("json", false, "emit one JSON array of per-run rows instead of text tables")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the robustness figure's deterministic fault scenarios")
 	workers := fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); figures are identical at any count")
@@ -73,6 +73,7 @@ func run(args []string) error {
 		{"scaling", func() (figResult, error) { return experiments.ScalingSweep(w) }},
 		{"robustness", func() (figResult, error) { return experiments.Robustness(w, *faultSeed) }},
 		{"manimal", func() (figResult, error) { return experiments.Manimal(w) }},
+		{"reuse", func() (figResult, error) { return experiments.Reuse(w) }},
 	}
 
 	// Bench progress plane: the figure harnesses build engines internally,
@@ -130,7 +131,7 @@ func run(args []string) error {
 		rows = append(rows, result.BenchRows()...)
 	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, all)", *fig)
+		return fmt.Errorf("unknown figure %q (have 2b, 9, 10, 11, 12, 13, ablations, scaling, robustness, manimal, reuse, all)", *fig)
 	}
 
 	if *asJSON {

@@ -57,6 +57,8 @@ func run(args []string, stdout io.Writer, ready func(sqlAddr, adminAddr string) 
 		timeout   = fs.Duration("query-timeout", 0, "per-query bound on admission wait + execution (0 = unlimited); timed-out runs are abandoned, not aborted")
 		cacheSize = fs.Int("cache-size", 128, "plan cache capacity in distinct normalized queries")
 		manimal   = fs.Bool("manimal", false, "apply MANIMAL-style scan rewrites to every translated plan (optimized plans cache under separate keys)")
+		reuseOn   = fs.Bool("reuse", false, "enable the cross-query materialized-output store: later queries skip jobs whose sub-plan artifacts are still valid")
+		reuseCap  = fs.Int64("reuse-cap", 0, "reuse store capacity in artifact bytes (0 = unbounded); the cost-model eviction policy decides what survives")
 		faults    = fs.String("faults", "", `fault scenario per session runtime, e.g. "task=0.1,straggler=0.05x6,node=2@500"`)
 		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
 		listen    = fs.String("listen", "", "serve the admin HTTP plane (/metrics, /sessions, /jobs, /debug/pprof) on this address")
@@ -129,15 +131,17 @@ func run(args []string, stdout io.Writer, ready func(sqlAddr, adminAddr string) 
 			}
 			return cluster
 		},
-		Mode:         mode,
-		Workers:      *workers,
-		MaxInflight:  *inflight,
-		MaxQueued:    *queued,
-		QueryTimeout: *timeout,
-		CacheSize:    *cacheSize,
-		Registry:     reg,
-		Logger:       logger,
-		Manimal:      *manimal,
+		Mode:          mode,
+		Workers:       *workers,
+		MaxInflight:   *inflight,
+		MaxQueued:     *queued,
+		QueryTimeout:  *timeout,
+		CacheSize:     *cacheSize,
+		Registry:      reg,
+		Logger:        logger,
+		Manimal:       *manimal,
+		Reuse:         *reuseOn,
+		ReuseCapBytes: *reuseCap,
 	}
 	srv, err := server.New(cfg, server.EncodeTables(rows))
 	if err != nil {

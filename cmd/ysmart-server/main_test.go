@@ -108,6 +108,91 @@ func TestServerMainFlagValidation(t *testing.T) {
 	}
 }
 
+// TestServerMainReuse: a -reuse server materializes job outputs across
+// sessions — a second connection running the same query gets warm
+// artifact hits recorded by the first — with identical rows over the wire
+// and the ysmart_reuse_* families on the admin plane.
+func TestServerMainReuse(t *testing.T) {
+	var out strings.Builder
+	type addrs struct{ sql, admin string }
+	up := make(chan addrs, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-listen", "127.0.0.1:0",
+			"-reuse",
+			"-cache-size", "8",
+		}, &out, func(sqlAddr, adminAddr string) <-chan struct{} {
+			up <- addrs{sqlAddr, adminAddr}
+			return stop
+		})
+	}()
+
+	var a addrs
+	select {
+	case a = <-up:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\noutput:\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	const sql = "SELECT cid, count(*) AS n FROM clicks GROUP BY cid"
+	query := func(user string) []string {
+		cli, err := server.Dial(a.sql, user, "ysmart", 5*time.Second)
+		if err != nil {
+			t.Fatalf("dial %s: %v", a.sql, err)
+		}
+		defer cli.Close()
+		res, err := cli.Query(sql)
+		if err != nil {
+			t.Fatalf("%s query: %v", user, err)
+		}
+		var lines []string
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, c := range row {
+				if c != nil {
+					cells[i] = *c
+				}
+			}
+			lines = append(lines, strings.Join(cells, "\t"))
+		}
+		return lines
+	}
+	cold := query("cold-session")
+	warm := query("warm-session") // fresh connection: hits must cross sessions
+	if len(cold) == 0 {
+		t.Fatal("cold session returned no rows")
+	}
+	if strings.Join(warm, "\n") != strings.Join(cold, "\n") {
+		t.Fatalf("warm session rows differ from cold session:\n got  %v\n want %v", warm, cold)
+	}
+
+	metrics := httpGet(t, "http://"+a.admin+"/metrics")
+	for _, family := range []string{
+		"ysmart_reuse_records_total",
+		"ysmart_reuse_hits_total 1",
+		"ysmart_reuse_entries 1",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
 func httpGet(t *testing.T, url string) string {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -70,6 +70,7 @@ func run(args []string) error {
 		faultSeed = fs.Int64("fault-seed", 1, "seed of the deterministic fault scenario")
 		speculate = fs.Bool("speculate", false, "launch backup attempts for straggling tasks; implies -run")
 		workers   = fs.Int("workers", 0, "goroutines executing engine tasks (0 = NumCPU); results are identical at any count")
+		reuseIt   = fs.Bool("reuse", false, "run the query twice through a cross-query reuse store (cold, then warm replay) and print what the warm run skipped; implies -run")
 		listen    = fs.String("listen", "", "serve the admin HTTP plane (/metrics, /trace, /jobs, /debug/pprof) on this address; implies -run and blocks after the run until interrupted")
 		logTo     = fs.String("log", "", "write the structured JSON event stream to <file> (- for stderr); implies -run")
 		logLevel  = fs.String("log-level", "info", "minimum event level: debug, info, warn, error")
@@ -78,7 +79,7 @@ func run(args []string) error {
 		return err
 	}
 	if *traceOut != "" || *timeline || *metricsTo != "" || *analyze || *faults != "" || *speculate ||
-		*listen != "" || *logTo != "" {
+		*listen != "" || *logTo != "" || *reuseIt {
 		*runIt = true
 	}
 
@@ -232,9 +233,24 @@ func run(args []string) error {
 	if logger != nil {
 		runOpts = append(runOpts, ysmart.WithLogger(logger))
 	}
+	var store *ysmart.ReuseStore
+	if *reuseIt {
+		store = ysmart.NewReuseStore(0, registry)
+		runOpts = append(runOpts, ysmart.WithReuse(store))
+		cold, err := rt.Run(tr, runOpts...)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== reuse (cold) ==")
+		fmt.Println(cold.Reuse.Summary())
+	}
 	res, err := rt.Run(tr, runOpts...)
 	if err != nil {
 		return err
+	}
+	if res.Reuse != nil {
+		fmt.Println("== reuse (warm) ==")
+		fmt.Println(res.Reuse.Summary())
 	}
 	if admin != nil {
 		// Post-run, /jobs serves the executed chain's per-job stats.

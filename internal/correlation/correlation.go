@@ -106,6 +106,12 @@ type Analysis struct {
 	pks  map[*Operation]plan.PartKey
 }
 
+// Root returns the analyzed plan's root node — the full logical plan,
+// including the transparent nodes above RootOp. Consumers that need a
+// canonical rendering of the whole query (e.g. sub-plan fingerprinting in
+// internal/reuse) read it here.
+func (a *Analysis) Root() plan.Node { return a.root }
+
 // Analyze extracts operations, chooses aggregation partition keys with the
 // max-connection heuristic (paper §IV.A), and numbers operations.
 func Analyze(root plan.Node) (*Analysis, error) {

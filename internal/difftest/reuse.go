@@ -1,0 +1,72 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"ysmart"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
+	"ysmart/internal/translator"
+)
+
+// ReuseRun is one cold-then-warm execution pair through a shared
+// cross-query artifact store: the cold run executes everything and
+// materializes each job's output; the warm run replays the same query on a
+// fresh runtime loaded with the same tables — the cross-runtime shape
+// server sessions exercise — and must be able to skip every job whose
+// artifact the store still holds.
+type ReuseRun struct {
+	Cold, Warm         *Run
+	ColdPlan, WarmPlan *ysmart.ReusePlan
+}
+
+// ExecuteReuse runs one workload query twice through a private store:
+// cold, then warm. partial forgets the result-producing job's artifact
+// between the rounds, so the warm chain must re-execute exactly the final
+// job against the restored intermediate artifacts.
+func ExecuteReuse(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.FaultPlan, tables map[string][]ysmart.Row, partial bool) (*ReuseRun, error) {
+	store := ysmart.NewReuseStore(0, nil)
+	cold, coldPlan, tr, err := reuseRound(name, sql, mode, workers, plan, tables, store)
+	if err != nil {
+		return nil, fmt.Errorf("cold: %w", err)
+	}
+	if partial {
+		key, ok := translator.RootArtifactKey(tr)
+		if !ok {
+			return nil, fmt.Errorf("%s: translation carries no artifacts", name)
+		}
+		store.Forget(key)
+	}
+	warm, warmPlan, _, err := reuseRound(name, sql, mode, workers, plan, tables, store)
+	if err != nil {
+		return nil, fmt.Errorf("warm: %w", err)
+	}
+	return &ReuseRun{Cold: cold, Warm: warm, ColdPlan: coldPlan, WarmPlan: warmPlan}, nil
+}
+
+// reuseRound is execute with the store attached: fresh runtime, fresh
+// translation (jobs carry per-run reducer state), collector for the trace
+// comparison surface.
+func reuseRound(name, sql string, mode ysmart.Mode, workers int, plan *mapreduce.FaultPlan, tables map[string][]ysmart.Row, store *ysmart.ReuseStore) (*Run, *ysmart.ReusePlan, *ysmart.Translation, error) {
+	q, err := ysmart.Parse(sql, ysmart.WorkloadCatalog())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	tr, err := q.Translate(mode, ysmart.Options{QueryName: strings.ToLower(name)})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	rt, err := ysmart.NewRuntime(Cluster(plan))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rt.SetWorkers(workers)
+	rt.LoadTables(tables)
+	col := obs.NewCollector()
+	res, err := rt.Run(tr, ysmart.WithTracer(col), ysmart.WithReuse(store))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s (workers=%d, %s): %w", name, workers, PlanLabel(plan), err)
+	}
+	return &Run{Rows: res.Rows, Jobs: res.Stats.Jobs, Trace: obs.ChromeTrace(col.Events())}, res.Reuse, tr, nil
+}

@@ -21,6 +21,11 @@ type BenchRow struct {
 	Recomputed  int     `json:"recomputed,omitempty"`
 	Speculative int     `json:"speculative,omitempty"`
 	ResultOK    bool    `json:"result_ok,omitempty"`
+	// Cross-query reuse fields, set only by the reuse figure's warm rows:
+	// jobs the materialized-output store let the warm replay skip, and the
+	// artifact bytes read instead of recomputing them.
+	JobsSkipped int   `json:"jobs_skipped,omitempty"`
+	BytesSaved  int64 `json:"bytes_saved,omitempty"`
 	// Load-harness fields, set only by ysmart-loadgen rows (figure
 	// "loadgen"): wall-clock latency quantiles in seconds read from the
 	// shared query-latency histogram, and sustained queries per second.

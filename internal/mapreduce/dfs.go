@@ -29,6 +29,13 @@ type DFS struct {
 	tracer  obs.Tracer
 	metrics *obs.Registry
 	clock   func() float64
+
+	// writeObs, when set, is invoked with the path of every Write, Append
+	// and Delete — the hook validity-epoch tracking (internal/reuse) hangs
+	// off so materialized artifacts derived from a path stop being served
+	// the moment the path's content changes. Called under the DFS lock:
+	// observers must be fast and must never call back into the DFS.
+	writeObs func(path string)
 }
 
 // NewDFS returns an empty file system.
@@ -100,6 +107,23 @@ func (d *DFS) rlock() {
 	}
 }
 
+// SetWriteObserver registers fn to be called with the path of every
+// subsequent Write, Append and Delete (nil unregisters). The callback
+// runs under the DFS write lock so mutation and notification are atomic;
+// it must not call back into the DFS.
+func (d *DFS) SetWriteObserver(fn func(path string)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writeObs = fn
+}
+
+// notifyWrite invokes the write observer; callers hold the write lock.
+func (d *DFS) notifyWrite(path string) {
+	if d.writeObs != nil {
+		d.writeObs(path)
+	}
+}
+
 // Contention reports how many lock acquisitions found the lock held — a
 // measure of real concurrent pressure on the DFS. The count depends on
 // host scheduling and worker count, so it is diagnostic only: it never
@@ -115,6 +139,7 @@ func (d *DFS) Write(path string, lines []string) {
 	defer d.mu.Unlock()
 	d.files[path] = cp
 	d.observe("write", path, cp)
+	d.notifyWrite(path)
 }
 
 // Append adds lines to path, creating it if absent. The three-index slice
@@ -128,6 +153,7 @@ func (d *DFS) Append(path string, lines []string) {
 	cur := d.files[path]
 	d.files[path] = append(cur[:len(cur):len(cur)], lines...)
 	d.observe("write", path, lines)
+	d.notifyWrite(path)
 }
 
 // Read returns the lines of path. The returned slice is shared; callers
@@ -156,6 +182,7 @@ func (d *DFS) Delete(path string) {
 	d.lock()
 	defer d.mu.Unlock()
 	delete(d.files, path)
+	d.notifyWrite(path)
 }
 
 // SizeBytes returns the byte size of path's content (line bytes plus one

@@ -122,6 +122,10 @@ func trimValue(v string, width int, dead map[int]bool) string {
 // generated code, where the facts come from the plan instead of the AST.
 // It returns the facts it applied and the ones the translator refused.
 func ApplyTranslation(tr *translator.Translation) (applied, refused []translator.ScanFact) {
+	// The translation now carries rewrites: reuse artifact keys must fold
+	// in the optimizer dimension so optimized and plain artifacts never
+	// mix (translator.ArtifactKey, mirroring CacheKeyOpt).
+	tr.Optimized = true
 	byName := map[string]*mapreduce.Job{}
 	for _, j := range tr.Jobs {
 		byName[j.Name] = j

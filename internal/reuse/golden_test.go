@@ -1,0 +1,65 @@
+package reuse_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ysmart/internal/queries"
+	"ysmart/internal/translator"
+)
+
+var update = flag.Bool("update", false, "rewrite the fingerprint golden corpus from current translator output")
+
+// TestFingerprintGolden pins the canonical fingerprint of every job of
+// every workload query under every translation mode. A diff here means
+// the fingerprint function (or the lowering it hashes) changed: existing
+// stores will run cold after a deploy, which is safe but worth knowing —
+// regenerate with -update only deliberately.
+func TestFingerprintGolden(t *testing.T) {
+	named := queries.Named()
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var lines []string
+	for _, name := range names {
+		for _, mode := range []translator.Mode{translator.OneToOne, translator.PigLike, translator.ICTCOnly, translator.YSmart} {
+			for i, a := range artifacts(t, named[name], "golden", mode) {
+				lines = append(lines, fmt.Sprintf("%s\t%s\tjob%d\t%s\t%s",
+					name, mode, i, a.Fingerprint, strings.Join(a.Tables, ",")))
+			}
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "fingerprints.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for i := 0; i < len(lines) && i < len(want); i++ {
+		if lines[i] != want[i] {
+			t.Errorf("line %d:\n got  %s\n want %s", i, lines[i], want[i])
+		}
+	}
+	if len(lines) != len(want) {
+		t.Errorf("%d fingerprint lines, want %d", len(lines), len(want))
+	}
+}

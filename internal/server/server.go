@@ -10,6 +10,7 @@ import (
 	"ysmart/internal/mapreduce"
 	"ysmart/internal/obs"
 	"ysmart/internal/plan"
+	"ysmart/internal/reuse"
 	"ysmart/internal/translator"
 )
 
@@ -46,6 +47,15 @@ type Config struct {
 	// scan facts prove sound, and optimized plans are cached under keys
 	// (and DFS path prefixes) disjoint from plain ones.
 	Manimal bool
+	// Reuse enables the cross-query materialized-output store: job
+	// outputs are recorded under canonical sub-plan fingerprints and
+	// later queries — from any session — skip jobs whose artifacts are
+	// still valid. Re-registering a dataset (RegisterDataset) bumps its
+	// validity epoch, forcing dependent artifacts cold.
+	Reuse bool
+	// ReuseCapBytes bounds the reuse store's artifact bytes (0 =
+	// unbounded); the cost-model eviction policy decides what survives.
+	ReuseCapBytes int64
 }
 
 // Server is the long-running SQL service: a TCP listener speaking the
@@ -58,7 +68,8 @@ type Server struct {
 	admission *Admission
 	reg       *obs.Registry
 	logger    *obs.Logger
-	tables    map[string][]string // pre-encoded base table lines
+	store     *reuse.Store        // nil unless Config.Reuse
+	tables    map[string][]string // pre-encoded base table lines; guarded by mu
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -84,6 +95,13 @@ func New(cfg Config, tables map[string][]string) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// Copy the dataset map: RegisterDataset mutates it later, and the
+	// caller's map must not change under them.
+	cp := make(map[string][]string, len(tables))
+	for name, lines := range tables {
+		cp[name] = lines
+	}
+	tables = cp
 	s := &Server{
 		cfg:       cfg,
 		reg:       reg,
@@ -94,7 +112,31 @@ func New(cfg Config, tables map[string][]string) (*Server, error) {
 		sessions:  make(map[int64]*session),
 	}
 	s.cache.SetOptimize(cfg.Manimal)
+	if cfg.Reuse {
+		s.store = reuse.NewStore(cfg.ReuseCapBytes, reg)
+	}
 	return s, nil
+}
+
+// ReuseStore exposes the cross-query reuse store (nil when Config.Reuse
+// is off) for stats endpoints and tests.
+func (s *Server) ReuseStore() *reuse.Store { return s.store }
+
+// RegisterDataset registers or replaces a dataset (pre-encoded lines, as
+// from EncodeTables). Sessions opened after the call are preloaded with
+// the new content; with reuse enabled, the table's validity epoch is
+// bumped under the same lock, so artifacts derived from the old content
+// are never served against the new data (and vice versa — each session
+// validates lookups against the epoch snapshot taken when its tables
+// were copied).
+func (s *Server) RegisterDataset(name string, lines []string) {
+	cp := append([]string(nil), lines...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = cp
+	if s.store != nil {
+		s.store.BumpPath(translator.TablePath(name))
+	}
 }
 
 // Registry exposes the server's metrics registry (for the admin plane).

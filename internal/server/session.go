@@ -32,6 +32,14 @@ type session struct {
 	dfs    *mapreduce.DFS
 	engine *mapreduce.Engine
 
+	// reuseEpochs is the validity-epoch snapshot taken when this session
+	// copied its base tables (nil when reuse is off). Lookups validate
+	// against it, so the session only reuses artifacts consistent with
+	// the data it actually serves — a dataset re-registered after connect
+	// neither poisons nor borrows this session's artifacts. Immutable
+	// after newSession.
+	reuseEpochs map[string]int64
+
 	// pending, when non-nil, is the completion signal of a timed-out,
 	// abandoned run still executing on this session's engine; the next
 	// query waits on it (the engine is single-chain). Only the session's
@@ -107,8 +115,17 @@ func newSession(srv *Server, id int64, conn net.Conn) (*session, error) {
 		remote:  conn.RemoteAddr().String(),
 		started: time.Now(),
 	}
+	// The caller (acceptLoop) holds srv.mu, so the table copy and — with
+	// reuse on — the epoch snapshot are atomic against RegisterDataset.
 	for name, lines := range srv.tables {
 		s.dfs.Write(translator.TablePath(name), lines)
+	}
+	if srv.store != nil {
+		paths := make([]string, 0, len(srv.tables))
+		for name := range srv.tables {
+			paths = append(paths, translator.TablePath(name))
+		}
+		s.reuseEpochs = srv.store.SnapshotEpochs(paths)
 	}
 	return s, nil
 }
@@ -296,9 +313,25 @@ func (s *session) runQuery(sql string, start time.Time) error {
 		defer release()
 		defer p.Release()
 		o := outcome{}
-		_, o.err = s.engine.RunChain(p.Translation.Jobs)
-		if o.err == nil {
-			o.rows, o.err = p.Translation.ReadResult(s.dfs)
+		if srv.store != nil {
+			// Rewrite the leased translation against the reuse store
+			// (clones only — the cached Translation is never mutated, so
+			// lease pooling stays safe), run what survived, then record
+			// the executed jobs' outputs for future queries.
+			rp := translator.ApplyReuseAt(p.Translation, srv.store, s.dfs, s.reuseEpochs)
+			var stats *mapreduce.ChainStats
+			stats, o.err = s.engine.RunChain(rp.Jobs)
+			if o.err == nil {
+				o.rows, o.err = rp.ReadResult(s.dfs)
+			}
+			if o.err == nil {
+				rp.Record(srv.store, s.dfs, stats)
+			}
+		} else {
+			_, o.err = s.engine.RunChain(p.Translation.Jobs)
+			if o.err == nil {
+				o.rows, o.err = p.Translation.ReadResult(s.dfs)
+			}
 		}
 		done <- o
 	}()

@@ -133,6 +133,7 @@ func (lw *lowerer) lowerSPQuery() (*Translation, error) {
 		Output:       path,
 		OutputSchema: topEff.schema,
 		ScanFacts:    []ScanFact{fact},
+		Artifacts:    []JobArtifact{lw.rootArtifact()},
 	}, nil
 }
 
@@ -157,6 +158,7 @@ func (lw *lowerer) lowerJobs(g *grouping) (*Translation, error) {
 
 	tr := &Translation{Mode: lw.mode, Analysis: lw.analysis}
 	mrOf := make(map[*jobBuild]*mapreduce.Job, len(order))
+	artOf := make(map[*jobBuild]JobArtifact, len(order))
 	for idx, jb := range order {
 		cj, err := lw.lowerJob(jb, idx+1, g, topChain, topLimit, tr)
 		if err != nil {
@@ -166,7 +168,8 @@ func (lw *lowerer) lowerJobs(g *grouping) (*Translation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("job %s: %w", cj.Name, err)
 		}
-		for _, dep := range jobDeps(jb, g) {
+		deps := jobDeps(jb, g)
+		for _, dep := range deps {
 			mr.DependsOn = append(mr.DependsOn, mrOf[dep])
 		}
 		mrOf[jb] = mr
@@ -177,6 +180,14 @@ func (lw *lowerer) lowerJobs(g *grouping) (*Translation, error) {
 			group[i] = op.Name()
 		}
 		tr.Groups = append(tr.Groups, group)
+
+		depFPs := make([]string, len(deps))
+		for i, dep := range deps {
+			depFPs[i] = artOf[dep].Fingerprint
+		}
+		art := lw.artifactFor(jb, cj, depFPs)
+		artOf[jb] = art
+		tr.Artifacts = append(tr.Artifacts, art)
 	}
 	tr.ScanFacts = lw.facts
 	return tr, nil

@@ -1,0 +1,351 @@
+package translator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ysmart/internal/cmf"
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/obs"
+	"ysmart/internal/plan"
+	"ysmart/internal/reuse"
+)
+
+// JobArtifact identifies one job's output for the cross-query reuse
+// store: the canonical fingerprint of the sub-plan the job computes and
+// the base-table DFS paths the output was derived from. It deliberately
+// contains no query names, job names or tmp paths, so structurally
+// identical jobs generated for different queries fingerprint identically
+// and can share a materialized artifact.
+type JobArtifact struct {
+	Fingerprint string
+	// Tables are the DFS paths (TablePath) of every base table the job's
+	// output transitively depends on, sorted.
+	Tables []string
+}
+
+// ArtifactKey scopes a fingerprint by the optimizer dimension, following
+// the CacheKeyOpt discipline: MANIMAL-rewritten translations must never
+// share artifacts with plain translations of the same sub-plan.
+func ArtifactKey(fingerprint string, optimized bool) string {
+	if optimized {
+		return "manimal\x00" + fingerprint
+	}
+	return fingerprint
+}
+
+// ArtifactPath is the DFS path a reused artifact is installed under
+// before the rewritten chain runs (a NUL-free rendering of ArtifactKey).
+func ArtifactPath(fingerprint string, optimized bool) string {
+	if optimized {
+		return "restore/manimal-" + fingerprint
+	}
+	return "restore/" + fingerprint
+}
+
+// artifactHeader writes the descriptor preamble: every knob that changes
+// generated job bytes (mode and the lowering toggles) scopes the hash.
+func (lw *lowerer) artifactHeader(sb *strings.Builder) {
+	fmt.Fprintf(sb, "v1;mode=%s;prune=%t;combine=%t;share=%t\n", lw.mode, lw.prune, lw.combine, lw.share)
+}
+
+// artifactFor fingerprints one lowered job: the canonical rendering of
+// every operation it executes (with the pruned column demand that shapes
+// its written rows), its output tags, and — Merkle-style — the
+// fingerprints of the jobs it reads intermediate results from, so an
+// artifact is only ever reused when its whole upstream computation
+// matches. The job that produces the query result hashes the full plan
+// root instead, covering the top chain and LIMIT.
+func (lw *lowerer) artifactFor(jb *jobBuild, cj *cmf.CommonJob, depFPs []string) JobArtifact {
+	var sb strings.Builder
+	lw.artifactHeader(&sb)
+	tables := make(map[string]bool)
+	for _, op := range jb.ops {
+		if op == lw.analysis.RootOp {
+			fmt.Fprintf(&sb, "root;limit=%d;%s\n", lw.topLimit, reuse.CanonPlan(lw.analysis.Root()))
+			for t := range plan.BaseTables(lw.analysis.Root()) {
+				tables[t] = true
+			}
+			continue
+		}
+		fmt.Fprintf(&sb, "op;req=%v;%s\n", lw.requiredOf(op.Node()), reuse.CanonPlan(op.Node()))
+		for t := range plan.BaseTables(op.Node()) {
+			tables[t] = true
+		}
+	}
+	for _, out := range cj.Outputs {
+		fmt.Fprintf(&sb, "out;%s\n", out.Tag)
+	}
+	for _, fp := range depFPs {
+		fmt.Fprintf(&sb, "dep;%s\n", fp)
+	}
+	return JobArtifact{Fingerprint: reuse.Fingerprint(sb.String()), Tables: tablePathsOf(tables)}
+}
+
+// rootArtifact fingerprints the single map-only job of a pure
+// selection-projection query: the full plan root.
+func (lw *lowerer) rootArtifact() JobArtifact {
+	var sb strings.Builder
+	lw.artifactHeader(&sb)
+	fmt.Fprintf(&sb, "root;limit=%d;%s\n", lw.topLimit, reuse.CanonPlan(lw.analysis.Root()))
+	return JobArtifact{
+		Fingerprint: reuse.Fingerprint(sb.String()),
+		Tables:      tablePathsOf(plan.BaseTables(lw.analysis.Root())),
+	}
+}
+
+// tablePathsOf converts a base-table set to sorted DFS paths.
+func tablePathsOf(tables map[string]bool) []string {
+	out := make([]string, 0, len(tables))
+	for t := range tables {
+		out = append(out, TablePath(t))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reuseRecord remembers what to materialize after an executed job's run.
+type reuseRecord struct {
+	jobName     string
+	key         string
+	fingerprint string
+	tables      []string
+	outPath     string
+}
+
+// ReusePlan is a translation rewritten against the materialized-output
+// store: the jobs that still need to run (clones — the source Translation
+// is never mutated, so plan-cache leasing stays safe), with inputs that
+// matched a stored artifact repointed at restore/ paths. Run rp.Jobs,
+// read the result via rp.ReadResult, then call rp.Record to materialize
+// the outputs of the jobs that did execute.
+type ReusePlan struct {
+	// Jobs is the rewritten chain (possibly empty when the whole query
+	// came from the store; RunChain of an empty chain is a no-op).
+	Jobs []*mapreduce.Job
+	// Output/OutputTag/OutputSchema locate and type the result rows —
+	// Output points into restore/ when the final job was skipped.
+	Output       string
+	OutputTag    string
+	OutputSchema *exec.Schema
+	// Hits and Misses count store lookups; Skipped of Total jobs were
+	// dropped from the chain (reused or transitively unneeded).
+	Hits    int
+	Misses  int
+	Skipped int
+	Total   int
+	// ArtifactBytes totals the stored bytes served in place of skipped
+	// jobs; PredictedSavedSeconds totals their cost-model runtime.
+	ArtifactBytes         int64
+	PredictedSavedSeconds float64
+
+	records []reuseRecord
+	epochs  map[string]int64
+}
+
+// ApplyReuse rewrites tr against the store, validating artifacts with the
+// store's current validity epochs. See ApplyReuseAt.
+func ApplyReuse(tr *Translation, store *reuse.Store, dfs *mapreduce.DFS) *ReusePlan {
+	return ApplyReuseAt(tr, store, dfs, nil)
+}
+
+// ApplyReuseAt rewrites tr against the store using a caller-captured
+// epoch snapshot (nil = snapshot now). The snapshot is taken before
+// lookup and kept for Record, so a table overwrite racing the run can
+// only make artifacts look stale — recorded entries never claim epochs
+// newer than the data they were computed from. A job is dropped from the
+// chain when its own artifact is valid in the store, or when every chain
+// consumer of its output was dropped; surviving jobs are cloned with
+// their intermediate inputs repointed at the installed restore/ paths
+// (written into dfs here) and their DependsOn edges rebuilt among the
+// clones.
+func ApplyReuseAt(tr *Translation, store *reuse.Store, dfs *mapreduce.DFS, epochs map[string]int64) *ReusePlan {
+	rp := &ReusePlan{Output: tr.Output, OutputTag: tr.OutputTag, OutputSchema: tr.OutputSchema, Total: len(tr.Jobs)}
+	if store == nil || len(tr.Jobs) == 0 || len(tr.Artifacts) != len(tr.Jobs) {
+		rp.Jobs = tr.Jobs
+		return rp
+	}
+	if epochs == nil {
+		seen := make(map[string]bool)
+		var all []string
+		for _, a := range tr.Artifacts {
+			for _, t := range a.Tables {
+				if !seen[t] {
+					seen[t] = true
+					all = append(all, t)
+				}
+			}
+		}
+		epochs = store.SnapshotEpochs(all)
+	}
+	rp.epochs = epochs
+
+	n := len(tr.Jobs)
+	keys := make([]string, n)
+	hit := make([]*reuse.Entry, n)
+	for i, a := range tr.Artifacts {
+		keys[i] = ArtifactKey(a.Fingerprint, tr.Optimized)
+		if e, ok := store.LookupAt(keys[i], epochs); ok {
+			hit[i] = e
+			rp.Hits++
+		} else {
+			rp.Misses++
+		}
+	}
+
+	producer := make(map[string]int, n)
+	for i, j := range tr.Jobs {
+		producer[j.Output] = i
+	}
+	rootIdx, ok := producer[tr.Output]
+	if !ok {
+		rp.Jobs = tr.Jobs
+		return rp
+	}
+
+	// Walk the demand closure down from the result-producing job: a miss
+	// must run (needed), a hit feeding a needed job must be installed
+	// (used), and everything upstream of a hit disappears entirely.
+	needed := make([]bool, n)
+	used := make([]bool, n)
+	var need func(int)
+	need = func(i int) {
+		if needed[i] {
+			return
+		}
+		needed[i] = true
+		for _, in := range tr.Jobs[i].Inputs {
+			pi, ok := producer[in.Path]
+			if !ok {
+				continue
+			}
+			if hit[pi] != nil {
+				used[pi] = true
+			} else {
+				need(pi)
+			}
+		}
+	}
+	if hit[rootIdx] != nil {
+		used[rootIdx] = true
+	} else {
+		need(rootIdx)
+	}
+
+	for i := 0; i < n; i++ {
+		if used[i] {
+			dfs.Write(ArtifactPath(tr.Artifacts[i].Fingerprint, tr.Optimized), hit[i].Lines)
+		}
+		if !needed[i] && hit[i] != nil {
+			rp.ArtifactBytes += hit[i].Bytes
+			rp.PredictedSavedSeconds += hit[i].PredictedSeconds
+		}
+	}
+
+	// Clone surviving jobs. Shallow copies share mapper/reducer instances
+	// with tr — safe because a leased Translation is executed by at most
+	// one engine at a time and the clones run in its place, never
+	// alongside it.
+	cloneOf := make(map[*mapreduce.Job]*mapreduce.Job, n)
+	for i, j := range tr.Jobs {
+		if !needed[i] {
+			continue
+		}
+		cp := *j
+		cp.Inputs = append([]mapreduce.Input(nil), j.Inputs...)
+		for k := range cp.Inputs {
+			if pi, ok := producer[cp.Inputs[k].Path]; ok && hit[pi] != nil {
+				cp.Inputs[k].Path = ArtifactPath(tr.Artifacts[pi].Fingerprint, tr.Optimized)
+			}
+		}
+		cp.DependsOn = nil
+		for _, d := range j.DependsOn {
+			if dc, ok := cloneOf[d]; ok {
+				cp.DependsOn = append(cp.DependsOn, dc)
+			}
+		}
+		cloneOf[j] = &cp
+		rp.Jobs = append(rp.Jobs, &cp)
+		rp.records = append(rp.records, reuseRecord{
+			jobName:     j.Name,
+			key:         keys[i],
+			fingerprint: tr.Artifacts[i].Fingerprint,
+			tables:      tr.Artifacts[i].Tables,
+			outPath:     j.Output,
+		})
+	}
+	rp.Skipped = rp.Total - len(rp.Jobs)
+	if hit[rootIdx] != nil {
+		rp.Output = ArtifactPath(tr.Artifacts[rootIdx].Fingerprint, tr.Optimized)
+	}
+	return rp
+}
+
+// RootArtifactKey returns the store key of the job that produces the
+// query result, so callers can evict exactly the final artifact (the
+// partial-reuse scenario of the differential harness). ok is false when
+// the translation carries no artifacts.
+func RootArtifactKey(tr *Translation) (key string, ok bool) {
+	if len(tr.Artifacts) != len(tr.Jobs) {
+		return "", false
+	}
+	for i, j := range tr.Jobs {
+		if j.Output == tr.Output {
+			return ArtifactKey(tr.Artifacts[i].Fingerprint, tr.Optimized), true
+		}
+	}
+	return "", false
+}
+
+// ReadResult decodes the query result rows from the DFS — the rewritten
+// chain's analogue of Translation.ReadResult.
+func (rp *ReusePlan) ReadResult(dfs *mapreduce.DFS) ([]exec.Row, error) {
+	lines, err := dfs.Read(rp.Output)
+	if err != nil {
+		return nil, err
+	}
+	var rows []exec.Row
+	for _, line := range lines {
+		tag, payload := cmf.SplitTag(line)
+		if tag != rp.OutputTag {
+			continue
+		}
+		row, err := exec.DecodeRow(payload, rp.OutputSchema)
+		if err != nil {
+			return nil, fmt.Errorf("result row %q: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Record materializes the outputs of the jobs that executed into the
+// store, under the epoch snapshot captured at rewrite time and with each
+// job's cost-model PredictedTime as the rebuild cost the store's eviction
+// policy weighs against storage.
+func (rp *ReusePlan) Record(store *reuse.Store, dfs *mapreduce.DFS, stats *mapreduce.ChainStats) {
+	if store == nil {
+		return
+	}
+	predicted := make(map[string]float64)
+	if stats != nil {
+		for _, js := range stats.Jobs {
+			predicted[js.Name] = js.PredictedTime
+		}
+	}
+	for _, rec := range rp.records {
+		lines, err := dfs.Read(rec.outPath)
+		if err != nil {
+			continue
+		}
+		store.Record(rec.key, rec.fingerprint, rec.tables, rp.epochs, lines, predicted[rec.jobName])
+	}
+}
+
+// Summary renders a one-line reuse report for CLI output.
+func (rp *ReusePlan) Summary() string {
+	return fmt.Sprintf("reuse: %d/%d job(s) skipped (store hits %d, misses %d), %s of artifacts read, predicted %.1fs saved",
+		rp.Skipped, rp.Total, rp.Hits, rp.Misses, obs.FormatBytes(rp.ArtifactBytes), rp.PredictedSavedSeconds)
+}

@@ -1,0 +1,223 @@
+package translator
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ysmart/internal/exec"
+	"ysmart/internal/mapreduce"
+	"ysmart/internal/queries"
+	"ysmart/internal/reuse"
+)
+
+// runReuse executes a reuse-rewritten chain and returns its result rows.
+func runReuse(t *testing.T, rp *ReusePlan, dfs *mapreduce.DFS) ([]string, *mapreduce.ChainStats) {
+	t.Helper()
+	eng, err := mapreduce.NewEngine(dfs, mapreduce.SmallCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.RunChain(rp.Jobs)
+	if err != nil {
+		t.Fatalf("run rewritten chain: %v", err)
+	}
+	rows, err := rp.ReadResult(dfs)
+	if err != nil {
+		t.Fatalf("read result: %v", err)
+	}
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = exec.EncodeRow(r)
+	}
+	return lines, stats
+}
+
+// TestApplyReuseColdThenWarm is the tentpole round trip: a cold run
+// records every job's output; a second translation of the same query
+// (different label — a different query as far as the cache and job names
+// are concerned) then skips the whole chain and reads the result straight
+// from the store's artifact.
+func TestApplyReuseColdThenWarm(t *testing.T) {
+	dfs, _ := workload(t)
+	store := reuse.NewStore(0, nil)
+	store.WatchDFS(dfs)
+	sql := queries.Named()["Q18"]
+
+	tr := translate(t, sql, YSmart, Options{QueryName: "q18-cold"})
+	rp := ApplyReuse(tr, store, dfs)
+	if rp.Hits != 0 || rp.Skipped != 0 || len(rp.Jobs) != len(tr.Jobs) {
+		t.Fatalf("cold rewrite touched the chain: hits=%d skipped=%d jobs=%d/%d",
+			rp.Hits, rp.Skipped, len(rp.Jobs), len(tr.Jobs))
+	}
+	coldLines, coldStats := runReuse(t, rp, dfs)
+	rp.Record(store, dfs, coldStats)
+	if store.Len() != len(tr.Jobs) {
+		t.Fatalf("store holds %d entries after recording %d jobs", store.Len(), len(tr.Jobs))
+	}
+
+	tr2 := translate(t, sql, YSmart, Options{QueryName: "q18-warm"})
+	rp2 := ApplyReuse(tr2, store, dfs)
+	if len(rp2.Jobs) != 0 {
+		t.Fatalf("warm rewrite kept %d jobs, want 0", len(rp2.Jobs))
+	}
+	if rp2.Skipped != rp2.Total || rp2.Hits != rp2.Total || rp2.Total != len(tr2.Jobs) {
+		t.Errorf("warm accounting: hits=%d skipped=%d total=%d, want all %d",
+			rp2.Hits, rp2.Skipped, rp2.Total, len(tr2.Jobs))
+	}
+	if !strings.HasPrefix(rp2.Output, "restore/") {
+		t.Errorf("warm output %q does not point into restore/", rp2.Output)
+	}
+	if rp2.ArtifactBytes <= 0 || rp2.PredictedSavedSeconds <= 0 {
+		t.Errorf("warm savings not accounted: bytes=%d seconds=%v",
+			rp2.ArtifactBytes, rp2.PredictedSavedSeconds)
+	}
+	warmLines, _ := runReuse(t, rp2, dfs)
+	if !reflect.DeepEqual(warmLines, coldLines) {
+		t.Errorf("warm rows differ from cold rows:\n got  %v\n want %v", warmLines, coldLines)
+	}
+}
+
+// TestApplyReusePartial evicts exactly the result-producing artifact: the
+// warm chain must re-run that one job against restored intermediate
+// artifacts and reproduce the cold rows.
+func TestApplyReusePartial(t *testing.T) {
+	dfs, _ := workload(t)
+	store := reuse.NewStore(0, nil)
+	sql := queries.Named()["Q18"]
+
+	tr := translate(t, sql, YSmart, Options{QueryName: "q18-cold"})
+	rp := ApplyReuse(tr, store, dfs)
+	coldLines, coldStats := runReuse(t, rp, dfs)
+	rp.Record(store, dfs, coldStats)
+
+	key, ok := RootArtifactKey(tr)
+	if !ok {
+		t.Fatal("no root artifact key")
+	}
+	store.Forget(key)
+
+	tr2 := translate(t, sql, YSmart, Options{QueryName: "q18-warm"})
+	rp2 := ApplyReuse(tr2, store, dfs)
+	if len(rp2.Jobs) != 1 || rp2.Skipped != rp2.Total-1 {
+		t.Fatalf("partial rewrite ran %d of %d jobs (skipped %d), want exactly the final job",
+			len(rp2.Jobs), rp2.Total, rp2.Skipped)
+	}
+	for _, in := range rp2.Jobs[0].Inputs {
+		if !strings.HasPrefix(in.Path, "restore/") && !strings.HasPrefix(in.Path, "tables/") {
+			t.Errorf("surviving job reads %q; intermediate inputs must be restored artifacts", in.Path)
+		}
+	}
+	warmLines, _ := runReuse(t, rp2, dfs)
+	if !reflect.DeepEqual(warmLines, coldLines) {
+		t.Errorf("partial warm rows differ from cold rows")
+	}
+	// Record after the partial run refreshes the root artifact: the next
+	// rewrite is fully warm again.
+	rp2.Record(store, dfs, nil)
+	rp3 := ApplyReuse(translate(t, sql, YSmart, Options{QueryName: "q18-warm2"}), store, dfs)
+	if len(rp3.Jobs) != 0 {
+		t.Errorf("chain not fully warm after partial run recorded (%d jobs left)", len(rp3.Jobs))
+	}
+}
+
+// TestApplyReuseNeverMutatesSource: the plan cache leases translations to
+// concurrent sessions, so the rewrite must clone — the source jobs' input
+// paths and dependency edges stay exactly as lowered even when the
+// rewrite repoints inputs at restore/ artifacts.
+func TestApplyReuseNeverMutatesSource(t *testing.T) {
+	dfs, _ := workload(t)
+	store := reuse.NewStore(0, nil)
+	sql := queries.Named()["Q18"]
+
+	tr := translate(t, sql, YSmart, Options{QueryName: "q18"})
+	type jobShape struct {
+		inputs  []string
+		deps    []*mapreduce.Job
+		jobPtrs *mapreduce.Job
+	}
+	var before []jobShape
+	for _, j := range tr.Jobs {
+		var ins []string
+		for _, in := range j.Inputs {
+			ins = append(ins, in.Path)
+		}
+		before = append(before, jobShape{inputs: ins, deps: append([]*mapreduce.Job(nil), j.DependsOn...), jobPtrs: j})
+	}
+
+	rp := ApplyReuse(tr, store, dfs)
+	_, stats := runReuse(t, rp, dfs)
+	rp.Record(store, dfs, stats)
+	if key, ok := RootArtifactKey(tr); ok {
+		store.Forget(key) // force a partial rewrite, the path that repoints inputs
+	}
+	ApplyReuse(tr, store, dfs)
+
+	for i, j := range tr.Jobs {
+		if j != before[i].jobPtrs {
+			t.Fatalf("job %d pointer changed", i)
+		}
+		var ins []string
+		for _, in := range j.Inputs {
+			ins = append(ins, in.Path)
+		}
+		if !reflect.DeepEqual(ins, before[i].inputs) {
+			t.Errorf("job %d inputs mutated: %v, want %v", i, ins, before[i].inputs)
+		}
+		if !reflect.DeepEqual(j.DependsOn, before[i].deps) {
+			t.Errorf("job %d DependsOn mutated", i)
+		}
+	}
+}
+
+// TestOptimizedArtifactsDisjoint: a MANIMAL-optimized translation must
+// never consume artifacts recorded by a plain one (or vice versa) — the
+// optimizer dimension is part of the store key, mirroring CacheKeyOpt.
+func TestOptimizedArtifactsDisjoint(t *testing.T) {
+	if ArtifactKey("fp", true) == ArtifactKey("fp", false) {
+		t.Fatal("optimized and plain keys collide")
+	}
+	if ArtifactPath("fp", true) == ArtifactPath("fp", false) {
+		t.Fatal("optimized and plain artifact paths collide")
+	}
+
+	dfs, _ := workload(t)
+	store := reuse.NewStore(0, nil)
+	sql := queries.Named()["Q-AGG"]
+
+	tr := translate(t, sql, YSmart, Options{QueryName: "plain"})
+	rp := ApplyReuse(tr, store, dfs)
+	_, stats := runReuse(t, rp, dfs)
+	rp.Record(store, dfs, stats)
+
+	opt := translate(t, sql, YSmart, Options{QueryName: "optimized"})
+	opt.Optimized = true // what optanalysis.ApplyTranslation sets
+	rpOpt := ApplyReuse(opt, store, dfs)
+	if rpOpt.Hits != 0 || len(rpOpt.Jobs) != len(opt.Jobs) {
+		t.Errorf("optimized translation consumed plain artifacts (hits=%d, jobs=%d/%d)",
+			rpOpt.Hits, len(rpOpt.Jobs), len(opt.Jobs))
+	}
+}
+
+// TestArtifactParity: every translation of every workload query under
+// every mode carries exactly one artifact per job, each with a fingerprint
+// and its base-table closure.
+func TestArtifactParity(t *testing.T) {
+	for name, sql := range queries.Named() {
+		for _, mode := range []Mode{OneToOne, PigLike, ICTCOnly, YSmart} {
+			tr := translate(t, sql, mode, Options{QueryName: "parity"})
+			if len(tr.Artifacts) != len(tr.Jobs) {
+				t.Errorf("%s/%v: %d artifacts for %d jobs", name, mode, len(tr.Artifacts), len(tr.Jobs))
+				continue
+			}
+			for i, a := range tr.Artifacts {
+				if a.Fingerprint == "" {
+					t.Errorf("%s/%v job %d: empty fingerprint", name, mode, i)
+				}
+				if len(a.Tables) == 0 {
+					t.Errorf("%s/%v job %d: no base tables", name, mode, i)
+				}
+			}
+		}
+	}
+}

@@ -92,6 +92,14 @@ type Translation struct {
 	// MANIMAL rewrite stage may discharge as an early prefilter — or why
 	// it refused (see ScanFact).
 	ScanFacts []ScanFact
+	// Artifacts describes each job's output for the cross-query reuse
+	// store, parallel to Jobs: a canonical fingerprint of the sub-plan the
+	// job computes plus the base-table DFS paths the output depends on.
+	Artifacts []JobArtifact
+	// Optimized marks a translation carrying the MANIMAL scan rewrites.
+	// Reuse keys fold it in (ArtifactKey) so optimized and plain
+	// artifacts never mix, mirroring the plan cache's CacheKeyOpt.
+	Optimized bool
 }
 
 // NumJobs returns the number of generated jobs.

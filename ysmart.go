@@ -34,6 +34,7 @@ import (
 	"ysmart/internal/optanalysis"
 	"ysmart/internal/plan"
 	"ysmart/internal/queries"
+	"ysmart/internal/reuse"
 	"ysmart/internal/sqlparser"
 	"ysmart/internal/translator"
 )
@@ -85,6 +86,14 @@ type (
 	Logger = obs.Logger
 	// LogLevel orders log events by severity.
 	LogLevel = obs.Level
+	// ReuseStore is the cross-query materialized-output store (ReStore
+	// style): job outputs recorded under canonical sub-plan fingerprints,
+	// validated by per-table epochs, bounded by a cost-model eviction
+	// policy.
+	ReuseStore = reuse.Store
+	// ReusePlan is a translation rewritten against a ReuseStore: the jobs
+	// that still need to run, plus hit/skip/bytes-saved accounting.
+	ReusePlan = translator.ReusePlan
 )
 
 // Log levels for NewLogger.
@@ -269,6 +278,10 @@ type Result struct {
 	Schema *Schema
 	Rows   []Row
 	Stats  *ChainStats
+	// Reuse reports the cross-query rewrite of a WithReuse run (nil
+	// otherwise): jobs skipped, store hits/misses, bytes and predicted
+	// seconds saved.
+	Reuse *ReusePlan
 }
 
 // RunOption configures one Run invocation (tracing, metrics).
@@ -278,6 +291,7 @@ type runConfig struct {
 	tracer  obs.Tracer
 	metrics *obs.Registry
 	logger  *obs.Logger
+	reuse   *reuse.Store
 }
 
 // WithTracer attaches a tracer to the run: the engine emits job/phase/wave
@@ -295,6 +309,22 @@ func WithMetrics(r *Registry) RunOption { return func(c *runConfig) { c.metrics 
 // one JSON event per line on the simulated clock.
 func WithLogger(l *Logger) RunOption { return func(c *runConfig) { c.logger = l } }
 
+// WithReuse executes the translation through the cross-query reuse store
+// (the -reuse CLI flag): sub-plans whose fingerprints match a valid
+// stored artifact are served from the store instead of re-executed, and
+// the outputs of the jobs that do run are recorded for future queries.
+// The store watches this runtime's DFS so later base-table writes
+// invalidate dependent artifacts. Result rows are byte-identical with and
+// without reuse; Result.Reuse carries the accounting.
+func WithReuse(s *ReuseStore) RunOption { return func(c *runConfig) { c.reuse = s } }
+
+// NewReuseStore returns an empty cross-query reuse store. capBytes bounds
+// the stored artifact bytes (0 = unbounded); reg, when non-nil, receives
+// the ysmart_reuse_* metric families.
+func NewReuseStore(capBytes int64, reg *Registry) *ReuseStore {
+	return reuse.NewStore(capBytes, reg)
+}
+
 // Run executes a translation and reads back its result.
 func (r *Runtime) Run(t *Translation, opts ...RunOption) (*Result, error) {
 	var cfg runConfig
@@ -308,6 +338,20 @@ func (r *Runtime) Run(t *Translation, opts ...RunOption) (*Result, error) {
 	if cfg.logger != nil {
 		r.engine.SetLogger(cfg.logger)
 		defer r.engine.SetLogger(nil)
+	}
+	if cfg.reuse != nil {
+		cfg.reuse.WatchDFS(r.dfs)
+		rp := translator.ApplyReuse(t, cfg.reuse, r.dfs)
+		stats, err := r.engine.RunChain(rp.Jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := rp.ReadResult(r.dfs)
+		if err != nil {
+			return nil, err
+		}
+		rp.Record(cfg.reuse, r.dfs, stats)
+		return &Result{Schema: t.OutputSchema, Rows: rows, Stats: stats, Reuse: rp}, nil
 	}
 	stats, err := r.engine.RunChain(t.Jobs)
 	if err != nil {
