@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak proves that every spawned goroutine in the serving path has a
+// termination signal. The base fact is a function (or go-spawned
+// literal) that lexically cannot exit: a `for {}` loop from which no
+// return, break, goto, or panic escapes, or an empty `select {}`. Every
+// `go` statement is checked against the spawned body directly and
+// against everything it reaches through static and dynamic call edges —
+// a worker that returns when its done-channel closes, a bounded
+// (conditioned or range) loop, or a WaitGroup-disciplined body all pass
+// because their loops have an exit; a poll loop someone forgot to wire
+// to shutdown does not. Ref edges are not followed: handing a function
+// value onward is the binding site's responsibility.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement must reach a provable exit; report spawn sites whose bodies can never terminate",
+	Packages: []string{
+		"internal/server",
+		"internal/reuse",
+		"internal/obs",
+		"internal/mapreduce",
+		"cmd/ysmart-server",
+		"cmd/ysmart-loadgen",
+	},
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	g := pass.Prog.CallGraph()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkSpawn(pass, g, fn, gs)
+				return true
+			})
+		}
+	}
+}
+
+// checkSpawn vets one go statement: the literal body itself (when the
+// spawn is a literal) plus everything reachable from the call edges the
+// spawn carries.
+func checkSpawn(pass *Pass, g *CallGraph, fn *types.Func, gs *ast.GoStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if f := neverExits(lit.Body); f != nil {
+			pass.Reportf(gs.Pos(),
+				"goroutine spawned here never provably exits: %s at %s; add a termination signal (return on a context/done receive, a bounded loop, or WaitGroup discipline)",
+				f.Desc, g.posStr(f.Pos))
+			return
+		}
+		// Calls made by the literal: edges are attributed to the
+		// enclosing function, keyed inside the literal's span.
+		checkSpawnEdges(pass, g, fn, lit.Pos(), lit.End(), gs.Pos())
+		return
+	}
+	checkSpawnEdges(pass, g, fn, gs.Call.Pos(), gs.Call.End(), gs.Pos())
+}
+
+// checkSpawnEdges searches from every static/dynamic edge in the span
+// for a function that can never exit.
+func checkSpawnEdges(pass *Pass, g *CallGraph, fn *types.Func, from, to token.Pos, spawn token.Pos) {
+	node := g.Nodes[fn]
+	if node == nil {
+		return
+	}
+	for _, e := range node.Out {
+		if e.Pos < from || e.Pos >= to || e.Kind == EdgeRef {
+			continue
+		}
+		path, fact := g.reachLeak(e.Callee)
+		if fact == nil {
+			continue
+		}
+		pass.Reportf(spawn,
+			"goroutine spawned here never provably exits: %s has %s at %s (path %s); add a termination signal (return on a context/done receive, a bounded loop, or WaitGroup discipline)",
+			shortFuncName(path[len(path)-1]), fact.Desc, g.posStr(fact.Pos), pathString(path))
+		return
+	}
+}
+
+// reachLeak searches breadth-first from start for a function whose body
+// can never exit, following static and dynamic edges only.
+func (g *CallGraph) reachLeak(start *types.Func) ([]*types.Func, *Fact) {
+	type item struct {
+		fn   *types.Func
+		prev *item
+	}
+	expand := func(it *item) []*types.Func {
+		var path []*types.Func
+		for ; it != nil; it = it.prev {
+			path = append([]*types.Func{it.fn}, path...)
+		}
+		return path
+	}
+	seen := map[*types.Func]bool{start: true}
+	queue := []*item{{fn: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if f := g.leakFactOf(it.fn); f != nil {
+			return expand(it), f
+		}
+		node := g.Nodes[it.fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if e.Kind == EdgeRef || seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, &item{fn: e.Callee, prev: it})
+		}
+	}
+	return nil, nil
+}
+
+// leakFactOf computes (and caches) whether the function's own body —
+// nested literals excluded — contains a loop or select that can never
+// exit.
+func (g *CallGraph) leakFactOf(fn *types.Func) *Fact {
+	if g.prog.leak == nil {
+		g.prog.leak = make(map[*types.Func]*Fact)
+	}
+	if f, ok := g.prog.leak[fn]; ok {
+		return f
+	}
+	var fact *Fact
+	if d, ok := g.Decls[fn]; ok {
+		fact = neverExits(d.Decl.Body)
+	}
+	g.prog.leak[fn] = fact
+	return fact
+}
+
+// neverExits scans a body (nested function literals excluded) for a
+// construct that can never terminate: a `for {}` with no escaping
+// return/break/goto/panic, or an empty `select {}`.
+func neverExits(body *ast.BlockStmt) *Fact {
+	var fact *Fact
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fact != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.LabeledStmt:
+			if loop, ok := n.Stmt.(*ast.ForStmt); ok && loop.Cond == nil {
+				if !loopExits(loop, n.Label.Name) {
+					fact = &Fact{Pos: loop.Pos(), Desc: "a for {} loop with no reachable return, break, or goto"}
+				}
+				return false
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopExits(n, "") {
+				fact = &Fact{Pos: n.Pos(), Desc: "a for {} loop with no reachable return, break, or goto"}
+				return false
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				fact = &Fact{Pos: n.Pos(), Desc: "an empty select {} that blocks forever"}
+				return false
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// loopExits reports whether any statement inside the loop body escapes
+// it: a return, a goto, a panic or fatal exit, an unlabeled break that
+// binds to this loop, or a labeled break naming its label. Nested
+// function literals are skipped (they run on their own stack), and
+// unlabeled breaks inside nested loops, switches, and selects bind to
+// the inner construct.
+func loopExits(loop *ast.ForStmt, label string) bool {
+	exits := false
+	var walk func(n ast.Node, breakBinds bool)
+	walk = func(n ast.Node, breakBinds bool) {
+		if n == nil || exits {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exits || m == nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.GOTO:
+					exits = true
+				case token.BREAK:
+					if m.Label != nil {
+						if label != "" && m.Label.Name == label {
+							exits = true
+						}
+					} else if breakBinds {
+						exits = true
+					}
+				}
+			case *ast.CallExpr:
+				if isTerminalCall(m) {
+					exits = true
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m != n {
+					walk(m, false)
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(loop.Body, true)
+	return exits
+}
+
+// isTerminalCall recognizes calls that never return to the loop: the
+// panic builtin and the conventional hard exits (os.Exit, log.Fatal*,
+// runtime.Goexit). Lexical matching is enough here — a false match only
+// suppresses a report.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(f.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch base.Name + "." + f.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

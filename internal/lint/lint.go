@@ -18,7 +18,17 @@
 //     with go) may write captured state only into a task-index slot,
 //     under a mutex, or atomically — helpers included;
 //   - concreduce: types carrying the ConcurrentReduce marker must fold
-//     shared state under their mutex and never copy it.
+//     shared state under their mutex and never copy it;
+//   - lockorder: the module-global acquired-while-holding graph over
+//     identified mutexes (package globals, struct fields keyed by type)
+//     must be acyclic; cycles are reported with a witness acquisition
+//     path per edge (lockset.go);
+//   - goleak: every go statement must reach a provable exit — a spawn
+//     whose body (directly or through calls) loops forever with no
+//     return, break, or goto is reported at the spawn site;
+//   - lockheld: no blocking operation (channel send/receive without a
+//     default, select without default, Wait, time.Sleep, network I/O)
+//     may be reachable while a mutex is held.
 //
 // A diagnostic on a deliberate exception is silenced with a trailing or
 // preceding `// lint:ignore <check> reason` comment. The driver audits
@@ -36,7 +46,7 @@ import (
 )
 
 // Analyzers is the full ysmart-vet suite in stable order.
-var Analyzers = []*Analyzer{Determinism, TagDispatch, SpanPair, Deprecated, ShareCheck, ConcReduce}
+var Analyzers = []*Analyzer{Determinism, TagDispatch, SpanPair, Deprecated, ShareCheck, ConcReduce, LockOrder, GoLeak, LockHeld}
 
 // StaleIgnoreCheck is the name the driver's suppression audit reports
 // under. It is not an Analyzer: the driver itself emits it after all

@@ -47,6 +47,17 @@ type Program struct {
 	effects    map[*types.Func]*fnEffects
 	nondetOnce bool
 	nondet     map[*types.Func]*Fact
+
+	// Lock- and lifecycle-analysis caches (lockset.go and friends).
+	lockWraps      map[*types.Func]map[int]int
+	lockFacts      map[*types.Func]*lockFacts
+	entryHeld      map[*types.Func]map[string]heldVia
+	lockCyclesOnce bool
+	lockCycles     []lockCycle
+	leakOnce       bool
+	leak           map[*types.Func]*Fact
+	blockOnce      bool
+	block          map[*types.Func]*Fact
 }
 
 // Target is one package selected by the command-line patterns. Explicit

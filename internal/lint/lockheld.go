@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags blocking operations reachable while a mutex is held —
+// the serving-stack latency and deadlock amplifier: one slow client in
+// a critical section stalls every other session on the same lock.
+// Blocking operations are channel sends and receives outside a select
+// with a default case, selects without a default, WaitGroup/Cond Wait,
+// time.Sleep, and network I/O (net Accept/Read/Write/Dial and buffered
+// I/O over them); forEachTask is caught transitively through the
+// WaitGroup barrier inside it. Mutex Lock/Unlock calls are deliberately
+// excluded (nested acquisition order is lockorder's domain), as is
+// conn.Close, the sanctioned way to kick a session out from under the
+// server lock. The check is interprocedural over static and dynamic
+// call edges; the lexical hold tracking is shared with sharecheck
+// (facts.go) and the lock-identity layer (lockset.go).
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flag channel operations, Wait, sleeps, and network I/O reachable while a mutex is held",
+	Packages: []string{
+		"internal/server",
+		"internal/reuse",
+		"internal/obs",
+	},
+	Run: runLockHeld,
+}
+
+func runLockHeld(pass *Pass) {
+	g := pass.Prog.CallGraph()
+	wraps := g.lockWrappers()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkLockHeld(pass, g, wraps, fn, fd)
+		}
+	}
+}
+
+// checkLockHeld walks one function with the identified hold set and
+// reports blocking operations (direct or through calls) at held points.
+func checkLockHeld(pass *Pass, g *CallGraph, wraps map[*types.Func]map[int]int, fn *types.Func, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	comm := commSpans(fd.Body)
+	node := g.Nodes[fn]
+	edgesAt := make(map[token.Pos][]CallEdge)
+	if node != nil {
+		for _, e := range node.Out {
+			edgesAt[e.Pos] = append(edgesAt[e.Pos], e)
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	visitHeld(pkg, wraps, fd.Body.List, &heldLocks{}, func(n ast.Node, held *heldLocks) {
+		if !held.any() {
+			return
+		}
+		if desc := blockingNode(pkg, comm, n); desc != "" {
+			report(n.Pos(), "%s while holding %s; shrink the critical section so the lock never covers a blocking operation",
+				desc, holdDesc(held))
+			return
+		}
+		pos, ok := nodePos(n)
+		if !ok {
+			return
+		}
+		for _, e := range edgesAt[pos] {
+			if e.Kind == EdgeRef {
+				continue
+			}
+			path, fact := g.reachBlocking(e.Callee)
+			if fact == nil {
+				continue
+			}
+			report(pos, "call to %s blocks while holding %s: %s at %s (path %s); move the call out of the critical section",
+				shortFuncName(e.Callee), holdDesc(held), fact.Desc, g.posStr(fact.Pos), pathString(path))
+			return
+		}
+	})
+}
+
+// nodePos extracts the edge-lookup position for call and reference
+// nodes, mirroring how effectsOf consumes edges.
+func nodePos(n ast.Node) (token.Pos, bool) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return n.Pos(), true
+	case *ast.SelectorExpr:
+		return n.Pos(), true
+	case *ast.Ident:
+		return n.Pos(), true
+	}
+	return token.NoPos, false
+}
+
+// holdDesc names the held lock for a diagnostic: the innermost
+// identified lock when there is one, generic otherwise.
+func holdDesc(held *heldLocks) string {
+	for i := len(held.locks) - 1; i >= 0; i-- {
+		if id := held.locks[i].Key.ID; id != "" {
+			return id
+		}
+	}
+	return "a mutex"
+}
+
+// reachBlocking searches breadth-first from start for a function whose
+// body performs a blocking operation, following static and dynamic
+// edges only — a function value bound while the lock is held typically
+// runs after the unlock, so ref edges do not count.
+func (g *CallGraph) reachBlocking(start *types.Func) ([]*types.Func, *Fact) {
+	type item struct {
+		fn   *types.Func
+		prev *item
+	}
+	expand := func(it *item) []*types.Func {
+		var path []*types.Func
+		for ; it != nil; it = it.prev {
+			path = append([]*types.Func{it.fn}, path...)
+		}
+		return path
+	}
+	seen := map[*types.Func]bool{start: true}
+	queue := []*item{{fn: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if f := g.blockFactOf(it.fn); f != nil {
+			return expand(it), f
+		}
+		node := g.Nodes[it.fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if e.Kind == EdgeRef || seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, &item{fn: e.Callee, prev: it})
+		}
+	}
+	return nil, nil
+}
+
+// blockFactOf computes (and caches) the first blocking operation in the
+// function's own body, nested literals excluded.
+func (g *CallGraph) blockFactOf(fn *types.Func) *Fact {
+	if g.prog.block == nil {
+		g.prog.block = make(map[*types.Func]*Fact)
+	}
+	if f, ok := g.prog.block[fn]; ok {
+		return f
+	}
+	var fact *Fact
+	if d, ok := g.Decls[fn]; ok {
+		comm := commSpans(d.Decl.Body)
+		ast.Inspect(d.Decl.Body, func(n ast.Node) bool {
+			if fact != nil {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if n == nil {
+				return false
+			}
+			if desc := blockingNode(d.Pkg, comm, n); desc != "" {
+				fact = &Fact{Pos: n.Pos(), Desc: desc}
+				return false
+			}
+			return true
+		})
+	}
+	g.prog.block[fn] = fact
+	return fact
+}
+
+// span is a half-open position range.
+type span struct{ from, to token.Pos }
+
+// commSpans records the comm-statement spans of every select in the
+// body: the send/receive in a `case` clause is the select's choice, not
+// an independent blocking point (and a select with a default makes the
+// whole choice non-blocking — the select statement itself carries the
+// fact when it has no default).
+func commSpans(body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				out = append(out, span{from: cc.Comm.Pos(), to: cc.Comm.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// inSpans reports whether pos falls inside any recorded span.
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s.from && pos < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingNode classifies one AST node as a blocking operation,
+// returning a description ("" when not blocking).
+func blockingNode(pkg *Package, comm []span, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default: never blocks
+			}
+		}
+		return "a select with no default case"
+	case *ast.SendStmt:
+		if inSpans(comm, n.Pos()) {
+			return ""
+		}
+		return "a channel send"
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW || inSpans(comm, n.Pos()) {
+			return ""
+		}
+		return "a channel receive"
+	case *ast.CallExpr:
+		return blockingCall(pkg, n)
+	}
+	return ""
+}
+
+// blockingCall classifies a call expression as a blocking operation.
+func blockingCall(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Method calls: resolve through selections (concrete and interface
+	// receivers both land here).
+	var callee *types.Func
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		callee, _ = s.Obj().(*types.Func)
+	} else if f, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		callee = f
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	path, name := callee.Pkg().Path(), callee.Name()
+	switch path {
+	case "sync":
+		if name == "Wait" {
+			return "a sync." + recvTypeName(callee) + ".Wait"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "a time.Sleep"
+		}
+	case "net":
+		switch name {
+		case "Accept", "Read", "Write", "ReadFrom", "WriteTo",
+			"Dial", "DialTimeout", "DialTCP", "DialUDP":
+			return "network I/O (net " + name + ")"
+		}
+	case "bufio":
+		switch name {
+		case "Read", "ReadByte", "ReadBytes", "ReadString", "ReadRune",
+			"ReadLine", "ReadSlice", "Write", "WriteByte", "WriteString",
+			"WriteRune", "Flush", "Peek":
+			return "buffered I/O (bufio " + name + ")"
+		}
+	}
+	return ""
+}
+
+// recvTypeName names a method's receiver type (WaitGroup, Cond, ...).
+func recvTypeName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder proves deadlock-freedom of the serving stack's mutex
+// discipline: it builds the module-global acquired-while-holding graph —
+// an edge A -> B whenever some execution path acquires lock B while A is
+// held, lexically or inherited through call-graph edges — and reports
+// every cycle with a witness acquisition path per edge. The graph ranges
+// over identified lock objects (package-level mutexes and struct-field
+// mutexes keyed by type, so reuse.Store.mu is one lock no matter how
+// many stores exist); a re-acquisition of the same lock object is
+// reported directly as a self-deadlock unless both holds are read
+// acquisitions. The analysis is may-hold: a single diagnostic means at
+// least one static path orders the two locks that way, and a cycle
+// means two such paths compose into a deadlock the scheduler can hit.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "build the acquired-while-holding graph over identified mutexes and report lock-order cycles with witness paths",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one acquired-while-holding edge with its first witness.
+type lockEdge struct {
+	from, to string
+	witness  string    // rendered acquisition clause for diagnostics
+	pos      token.Pos // the acquisition site
+	fn       *types.Func
+}
+
+// lockCycle is one cycle of the lock-order graph, anchored at the
+// acquisition site of its lexicographically smallest edge.
+type lockCycle struct {
+	pkg     *Package
+	pos     token.Pos
+	message string
+}
+
+func runLockOrder(pass *Pass) {
+	g := pass.Prog.CallGraph()
+	for _, c := range g.lockOrderCycles() {
+		if c.pkg == pass.Pkg {
+			pass.Reportf(c.pos, "%s", c.message)
+		}
+	}
+	// Self-deadlocks (re-acquiring a lock already held) are reported at
+	// the re-acquisition, in the package that contains it.
+	for _, fn := range g.sortedFuncs() {
+		d := g.Decls[fn]
+		if d.Pkg != pass.Pkg {
+			continue
+		}
+		entry := g.entryHeld()
+		for _, acq := range g.lockFactsOf(fn).Acquires {
+			if acq.Key.ID == "" {
+				continue
+			}
+			for _, h := range heldBefore(g, entry, fn, acq) {
+				if h.key.ID != acq.Key.ID || (h.key.Read && acq.Key.Read) {
+					continue
+				}
+				pass.Reportf(acq.Pos, "%s acquired while already held: %s",
+					acq.Key.ID, renderWitness(g, fn, acq.Pos, h))
+				break
+			}
+		}
+	}
+}
+
+// heldSource is one lock held before an acquisition: either taken
+// lexically earlier in the same function (lexPos set) or inherited from
+// a caller chain (chain set).
+type heldSource struct {
+	key    lockKey
+	lexPos token.Pos
+	chain  []*types.Func
+}
+
+// heldBefore lists the identified locks held at the acquisition site:
+// the lexical holds recorded with the acquire, plus everything the
+// function may be entered with. Lexical holds win on ID collision (the
+// nearer witness).
+func heldBefore(g *CallGraph, entry map[*types.Func]map[string]heldVia, fn *types.Func, acq lockAcquire) []heldSource {
+	var out []heldSource
+	seen := make(map[string]bool)
+	for _, h := range acq.Held {
+		if h.Key.ID == "" || seen[h.Key.ID] {
+			continue
+		}
+		seen[h.Key.ID] = true
+		out = append(out, heldSource{key: h.Key, lexPos: h.Pos})
+	}
+	ids := make([]string, 0, len(entry[fn]))
+	for id := range entry[fn] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, heldSource{key: entry[fn][id].Key, chain: g.entryChain(entry, fn, id)})
+	}
+	return out
+}
+
+// renderWitness prints one acquisition clause: who acquires what where,
+// and how the conflicting lock came to be held.
+func renderWitness(g *CallGraph, fn *types.Func, acqPos token.Pos, h heldSource) string {
+	var how string
+	if h.lexPos.IsValid() {
+		how = fmt.Sprintf("locked at %s", g.posStr(h.lexPos))
+	} else {
+		how = fmt.Sprintf("held on entry via %s", pathString(h.chain))
+	}
+	return fmt.Sprintf("%s at %s while holding %s (%s)", shortFuncName(fn), g.posStr(acqPos), h.key.ID, how)
+}
+
+// posStr renders a position as base-filename:line for diagnostics.
+func (g *CallGraph) posStr(pos token.Pos) string {
+	p := g.prog.Fset.Position(pos)
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// lockOrderCycles builds (and caches) the global acquired-while-holding
+// graph and extracts its cycles, each with one witness per edge.
+func (g *CallGraph) lockOrderCycles() []lockCycle {
+	if g.prog.lockCyclesOnce {
+		return g.prog.lockCycles
+	}
+	g.prog.lockCyclesOnce = true
+
+	// First-witness-wins edge map over deterministic iteration.
+	entry := g.entryHeld()
+	edges := make(map[[2]string]*lockEdge)
+	for _, fn := range g.sortedFuncs() {
+		for _, acq := range g.lockFactsOf(fn).Acquires {
+			if acq.Key.ID == "" {
+				continue
+			}
+			for _, h := range heldBefore(g, entry, fn, acq) {
+				if h.key.ID == acq.Key.ID {
+					continue // self-deadlock, reported separately
+				}
+				k := [2]string{h.key.ID, acq.Key.ID}
+				if _, ok := edges[k]; ok {
+					continue
+				}
+				edges[k] = &lockEdge{
+					from:    h.key.ID,
+					to:      acq.Key.ID,
+					witness: renderWitness(g, fn, acq.Pos, h),
+					pos:     acq.Pos,
+					fn:      fn,
+				}
+			}
+		}
+	}
+
+	// Adjacency in sorted order, so BFS finds a deterministic shortest
+	// return path for each candidate edge.
+	adj := make(map[string][]string)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	keys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, k int) bool {
+		if keys[i][0] != keys[k][0] {
+			return keys[i][0] < keys[k][0]
+		}
+		return keys[i][1] < keys[k][1]
+	})
+
+	var cycles []lockCycle
+	seen := make(map[string]bool) // canonical node-set key
+	for _, k := range keys {
+		ret := shortestLockPath(adj, k[1], k[0])
+		if ret == nil {
+			continue
+		}
+		// The cycle's node sequence: from -> to -> ... -> from.
+		nodes := append([]string{k[0]}, ret...)
+		canon := append([]string(nil), nodes[:len(nodes)-1]...)
+		sort.Strings(canon)
+		ck := strings.Join(canon, "\x00")
+		if seen[ck] {
+			continue
+		}
+		seen[ck] = true
+		var witnesses []string
+		anchor := edges[k]
+		for i := 0; i+1 < len(nodes); i++ {
+			e := edges[[2]string{nodes[i], nodes[i+1]}]
+			witnesses = append(witnesses, fmt.Sprintf("witness %d: %s", i+1, e.witness))
+		}
+		msg := fmt.Sprintf("lock-order cycle %s: %s; break the cycle by acquiring these locks in one global order",
+			strings.Join(nodes, " -> "), strings.Join(witnesses, "; "))
+		cycles = append(cycles, lockCycle{
+			pkg:     g.Decls[anchor.fn].Pkg,
+			pos:     anchor.pos,
+			message: msg,
+		})
+	}
+	sort.Slice(cycles, func(i, k int) bool { return cycles[i].pos < cycles[k].pos })
+	g.prog.lockCycles = cycles
+	return cycles
+}
+
+// shortestLockPath returns the node sequence from..to (both included)
+// over the lock-order graph, nil when unreachable.
+func shortestLockPath(adj map[string][]string, from, to string) []string {
+	type item struct {
+		node string
+		prev *item
+	}
+	seen := map[string]bool{from: true}
+	queue := []*item{{node: from}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.node == to {
+			var path []string
+			for ; it != nil; it = it.prev {
+				path = append([]string{it.node}, path...)
+			}
+			return path
+		}
+		for _, next := range adj[it.node] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, &item{node: next, prev: it})
+			}
+		}
+	}
+	return nil
+}

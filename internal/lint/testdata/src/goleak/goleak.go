@@ -1,0 +1,104 @@
+// Package goleak is the golden corpus for the goleak analyzer: every
+// go statement must have a provable termination signal. Spawns whose
+// bodies (directly or through calls) loop forever with no reachable
+// exit fire at the spawn site; done-channel returns, bounded and range
+// loops, WaitGroup-disciplined workers, and labeled breaks are refused.
+package goleak
+
+import "sync"
+
+// spinForever can never exit: the base fact.
+func spinForever() {
+	for {
+	}
+}
+
+// outerForever reaches the fact through a call.
+func outerForever() {
+	spinForever()
+}
+
+// blockForever blocks on an empty select.
+func blockForever() {
+	select {}
+}
+
+func spawnNamed() {
+	go spinForever() // want "goroutine spawned here never provably exits: goleak.spinForever has a for .. loop with no reachable return, break, or goto"
+}
+
+func spawnChain() {
+	go outerForever() // want "never provably exits: .* .path goleak.outerForever -> goleak.spinForever."
+}
+
+func spawnSelect() {
+	go blockForever() // want "never provably exits: goleak.blockForever has an empty select .. that blocks forever"
+}
+
+func spawnLit() {
+	go func() { // want "goroutine spawned here never provably exits: a for .. loop with no reachable return, break, or goto"
+		for {
+		}
+	}()
+}
+
+// spawnDone is the sanctioned shape: the loop returns when the done
+// channel closes. Refused.
+func spawnDone(done chan struct{}, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// spawnBounded runs a conditioned loop. Refused.
+func spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+// spawnRange drains a channel; the loop ends when the channel closes.
+// Refused.
+func spawnRange(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// spawnWorker is the WaitGroup-disciplined worker: Done on exit, return
+// when the job channel closes. Refused.
+func spawnWorker(wg *sync.WaitGroup, jobs chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			_, ok := <-jobs
+			if !ok {
+				return
+			}
+		}
+	}()
+}
+
+// spawnLabeled escapes through a labeled break. Refused.
+func spawnLabeled(stop chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-stop:
+				break loop
+			}
+		}
+		_ = 0
+	}()
+}

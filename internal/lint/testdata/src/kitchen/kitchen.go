@@ -88,6 +88,42 @@ func gather(p *pool, lines []string) error {
 	})
 }
 
+var (
+	kmuA sync.Mutex
+	kmuB sync.Mutex
+	kmuC sync.Mutex
+)
+
+// lockKitchenAB and lockKitchenBA seed a two-mutex cycle; the one
+// diagnostic anchors at the smaller edge's acquisition below.
+func lockKitchenAB() {
+	kmuA.Lock()
+	kmuB.Lock() // lint:ignore lockorder deliberate for the corpus
+	kmuB.Unlock()
+	kmuA.Unlock()
+}
+
+func lockKitchenBA() {
+	kmuB.Lock()
+	kmuA.Lock()
+	kmuA.Unlock()
+	kmuB.Unlock()
+}
+
+func leakyLoop() {
+	// lint:ignore goleak exercising the standalone escape hatch
+	go func() {
+		for {
+		}
+	}()
+}
+
+func blockUnderLock(ch chan int) {
+	kmuC.Lock()
+	<-ch // lint:ignore lockheld deliberate for the corpus
+	kmuC.Unlock()
+}
+
 type folder struct {
 	mu sync.Mutex
 	n  int

@@ -1,0 +1,108 @@
+// Package lockheld is the golden corpus for the lockheld analyzer:
+// blocking operations — channel sends and receives outside a
+// select-with-default, selects with no default, Wait, time.Sleep — must
+// not be reachable while a mutex is held. Non-blocking selects,
+// operations after the unlock, and go-spawned bodies (which start with
+// nothing held) are refused.
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+func recvHeld(ch chan int) {
+	mu.Lock()
+	<-ch // want "a channel receive while holding lockheld.mu"
+	mu.Unlock()
+}
+
+func sendHeld(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want "a channel send while holding lockheld.mu"
+}
+
+func waitHeld(wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait() // want "a sync.WaitGroup.Wait while holding lockheld.mu"
+	mu.Unlock()
+}
+
+func sleepHeld() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "a time.Sleep while holding lockheld.mu"
+	mu.Unlock()
+}
+
+func selectHeld(a, b chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want "a select with no default case while holding lockheld.mu"
+	case <-a:
+	case <-b:
+	}
+}
+
+// callsBlocked reaches the blocking receive through a helper; the
+// diagnostic names the path.
+func callsBlocked(ch chan int) {
+	mu.Lock()
+	helper(ch) // want "call to lockheld.helper blocks while holding lockheld.mu: a channel receive at .* .path lockheld.helper."
+	mu.Unlock()
+}
+
+func helper(ch chan int) {
+	<-ch
+}
+
+// localHeld: an unidentified (local) mutex still counts as held.
+func localHeld(ch chan int) {
+	var l sync.Mutex
+	l.Lock()
+	<-ch // want "a channel receive while holding a mutex"
+	l.Unlock()
+}
+
+// selectDefaultOK: a select with a default never blocks, and its comm
+// operations are part of the non-blocking choice. Refused.
+func selectDefaultOK(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// afterUnlockOK blocks only once the lock is gone. Refused.
+func afterUnlockOK(ch chan int) {
+	mu.Lock()
+	n := 1
+	_ = n
+	mu.Unlock()
+	<-ch
+}
+
+// spawnOK: a go-spawned body starts with nothing held, so its receive
+// is fine even though the spawner holds the lock. Refused.
+func spawnOK(ch chan int) {
+	mu.Lock()
+	go func() {
+		<-ch
+	}()
+	mu.Unlock()
+}
+
+// helperAfterUnlockOK: the helper blocks, but the call happens after
+// the unlock. Refused.
+func helperAfterUnlockOK(ch chan int) {
+	mu.Lock()
+	n := 1
+	_ = n
+	mu.Unlock()
+	helper(ch)
+}

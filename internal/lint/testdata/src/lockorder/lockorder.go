@@ -1,0 +1,127 @@
+// Package lockorder is the golden corpus for the lockorder analyzer:
+// the acquired-while-holding graph over identified mutexes (package
+// globals and struct fields keyed by type) must be acyclic. The seeded
+// two-mutex cycle below must be reported with both witness acquisition
+// paths; consistent orders, read-only re-acquisition, and unidentified
+// local mutexes must not fire.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.RWMutex
+	muG sync.Mutex
+	muH sync.Mutex
+	muI sync.Mutex
+	muJ sync.Mutex
+)
+
+// lockAB and lockBA seed the classic two-mutex cycle: A then B in one
+// path, B then A in the other. The diagnostic anchors at the smaller
+// edge's acquisition and must print both witnesses.
+func lockAB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want "lock-order cycle lockorder.muA -> lockorder.muB -> lockorder.muA: witness 1: .*lockAB .* while holding lockorder.muA .*witness 2: .*lockBA .* while holding lockorder.muB"
+	defer muB.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+// lockCD closes a cycle through a callee: helperD acquires muD while
+// muC is held only on entry, so witness 1 must print the caller chain.
+func lockCD() {
+	muC.Lock()
+	defer muC.Unlock()
+	helperD()
+}
+
+func helperD() {
+	muD.Lock() // want "lock-order cycle lockorder.muC -> lockorder.muD -> lockorder.muC: witness 1: .*helperD .* holding lockorder.muC .held on entry via .*lockCD -> .*helperD.; witness 2:"
+	defer muD.Unlock()
+}
+
+func lockDC() {
+	muD.Lock()
+	defer muD.Unlock()
+	muC.Lock()
+	defer muC.Unlock()
+}
+
+// relock re-acquires a write lock it already holds: self-deadlock.
+func relock() {
+	muE.Lock()
+	muE.Lock() // want "lockorder.muE acquired while already held"
+	muE.Unlock()
+	muE.Unlock()
+}
+
+// rereadOK: nested read acquisition of the same RWMutex is not a
+// self-deadlock (two RLocks may coexist); refused.
+func rereadOK() {
+	muF.RLock()
+	defer muF.RUnlock()
+	muF.RLock()
+	muF.RUnlock()
+}
+
+// orderedOK: both call sites agree on the G-before-H order; no cycle.
+func orderedOK() {
+	muG.Lock()
+	defer muG.Unlock()
+	muH.Lock()
+	defer muH.Unlock()
+}
+
+func orderedOKAgain() {
+	muG.Lock()
+	muH.Lock()
+	muH.Unlock()
+	muG.Unlock()
+}
+
+// localOK: a local mutex has no cross-function identity and creates no
+// ordering edges.
+func localOK() {
+	var local sync.Mutex
+	muG.Lock()
+	local.Lock()
+	local.Unlock()
+	muG.Unlock()
+}
+
+// lockVia is a one-hop lock wrapper: callers' arguments resolve to
+// acquisitions at the call site.
+func lockVia(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+func unlockVia(mu *sync.Mutex) {
+	mu.Unlock()
+}
+
+// viaIJ and viaJI close a cycle where one side of each acquisition goes
+// through the wrapper.
+func viaIJ() {
+	lockVia(&muI)
+	muJ.Lock() // want "lock-order cycle lockorder.muI -> lockorder.muJ -> lockorder.muI: witness 1: .*viaIJ .* holding lockorder.muI .*witness 2: .*viaJI"
+	muJ.Unlock()
+	unlockVia(&muI)
+}
+
+func viaJI() {
+	muJ.Lock()
+	lockVia(&muI)
+	unlockVia(&muI)
+	muJ.Unlock()
+}
